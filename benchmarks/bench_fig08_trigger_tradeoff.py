@@ -1,0 +1,18 @@
+"""Figure 8 benchmark: stall counts per bandwidth bin and recall versus history."""
+
+from repro.experiments import fig08_trigger_tradeoff
+
+
+def test_fig08_trigger_tradeoff(benchmark, substrate):
+    result = benchmark.pedantic(
+        lambda: fig08_trigger_tradeoff.run(substrate=substrate), rounds=1, iterations=1
+    )
+    print("\nFigure 8 — trigger threshold trade-off")
+    for label, (values, cdf) in result.stall_count_cdfs.items():
+        zero_fraction = float(cdf[(values <= 0).sum() - 1]) if (values <= 0).any() else 0.0
+        print(f"  {label}: stall-free user-days {zero_fraction * 100:.0f}%")
+    for count, recall in zip(result.history_counts, result.recall_by_history):
+        print(f"  accumulated stalls >= {count}: recall {recall:.3f}")
+    assert len(result.recall_by_history) == len(result.history_counts)
+    finite = [r for r in result.recall_by_history if r == r]
+    assert all(0.0 <= r <= 1.0 for r in finite)

@@ -1,0 +1,32 @@
+"""Figure 10 benchmark: pre-deployment simulation (fixed parameters vs LingXi)."""
+
+import pytest
+
+from repro.experiments import fig10_simulation
+
+
+@pytest.mark.parametrize(
+    "baseline,user_modeling",
+    [
+        ("hyb", "rule"),
+        ("robust_mpc", "rule"),
+        ("robust_mpc", "data"),
+        ("pensieve", "rule"),
+    ],
+)
+def test_fig10_simulation(benchmark, substrate, baseline, user_modeling):
+    result = benchmark.pedantic(
+        lambda: fig10_simulation.run(
+            baseline=baseline, user_modeling=user_modeling, substrate=substrate
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nFigure 10 — {baseline} / {user_modeling}-based user modelling")
+    for key, value in sorted(result.completion_by_fixed.items()):
+        print(f"  fixed {key}: completion {value * 100:.1f}%")
+    print(f"  best fixed: {result.best_fixed * 100:.1f}%  mean fixed: {result.mean_fixed * 100:.1f}%")
+    print(f"  LingXi(F): {result.completion_lingxi_fixed * 100:.1f}%")
+    print(f"  LingXi(B): {result.completion_lingxi_bayesian * 100:.1f}%")
+    assert 0.0 <= result.best_fixed <= 1.0
+    assert 0.0 <= result.completion_lingxi_bayesian <= 1.0

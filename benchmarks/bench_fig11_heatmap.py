@@ -1,0 +1,25 @@
+"""Figure 11 benchmark: chosen stall parameter versus user exit thresholds."""
+
+import numpy as np
+
+from repro.experiments import fig11_heatmap
+
+
+def test_fig11_heatmap(benchmark, substrate):
+    result = benchmark.pedantic(
+        lambda: fig11_heatmap.run(substrate=substrate, baselines=("robust_mpc",)),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 11 — mean chosen stall parameter per (time threshold, count threshold)")
+    for baseline, matrix in result.heatmaps.items():
+        print(f"  baseline {baseline}:")
+        for i, time_threshold in enumerate(result.thresholds):
+            row = "  ".join(
+                f"{matrix[i, j]:5.2f}" if np.isfinite(matrix[i, j]) else "  n/a"
+                for j in range(len(result.thresholds))
+            )
+            print(f"    time>={time_threshold:>3.0f}s: {row}")
+    matrix = result.heatmaps["robust_mpc"]
+    assert matrix.shape == (len(result.thresholds), len(result.thresholds))
+    assert np.all(np.isfinite(matrix))

@@ -1,0 +1,24 @@
+"""Figure 14 benchmark: per-day correlation between stall exit rate and parameter."""
+
+import numpy as np
+
+from repro.experiments import fig14_exit_rate_vs_param
+
+
+def test_fig14_exit_rate_vs_param(benchmark, substrate, ab_result):
+    result = benchmark.pedantic(
+        lambda: fig14_exit_rate_vs_param.run(substrate=substrate, ab_result=ab_result),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 14 — stall exit rate vs assigned parameter")
+    for day in result.daily:
+        print(
+            f"  day {day.day + 1}: n={len(day.exit_rates):>3}  corr={day.correlation:+.3f}  "
+            f"slope={day.slope:+.3f}"
+        )
+    finite = [c for c in result.correlations if np.isfinite(c)]
+    mean_correlation = float(np.mean(finite)) if finite else float("nan")
+    print(f"  mean correlation: {mean_correlation:+.3f}")
+    assert len(result.daily) >= 1
+    assert all(-1.0 <= c <= 1.0 for c in finite)

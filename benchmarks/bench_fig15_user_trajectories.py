@@ -1,0 +1,30 @@
+"""Figure 15 benchmark: per-user parameter trajectories."""
+
+from repro.experiments import fig15_user_trajectories
+
+
+def test_fig15_user_trajectories(benchmark, substrate, ab_result):
+    result = benchmark.pedantic(
+        lambda: fig15_user_trajectories.run(substrate=substrate, ab_result=ab_result),
+        rounds=1,
+        iterations=1,
+    )
+    print("\nFigure 15 — per-user parameter trajectories")
+    for label, trajectories in (
+        ("high tolerance", result.high_tolerance),
+        ("stall sensitive", result.stall_sensitive),
+    ):
+        for trajectory in trajectories:
+            print(
+                f"  [{label}] {trajectory.user_id} (tolerance {trajectory.tolerance_s:.1f}s, "
+                f"{trajectory.archetype}): {len(trajectory.events)} stall events, "
+                f"mean parameter {trajectory.mean_parameter:.3f}, "
+                f"final {trajectory.final_parameter:.3f}"
+            )
+    print(f"  tolerant-minus-sensitive parameter separation: {result.separation:+.3f}")
+    assert len(result.high_tolerance) == 2
+    assert len(result.stall_sensitive) == 2
+    for trajectory in result.high_tolerance + result.stall_sensitive:
+        for event in trajectory.events:
+            assert event.stall_time > 0
+            assert 0.0 <= event.parameter_after <= 1.0

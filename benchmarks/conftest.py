@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper at laptop scale and
+prints the same rows/series the paper reports.  ``benchmark.pedantic`` with a
+single round is used throughout: the interesting output is the experiment's
+result (and its wall-clock), not statistical timing of repeated runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import SubstrateConfig, build_substrate
+
+
+@pytest.fixture(scope="session")
+def substrate():
+    """The shared experiment substrate (population, logs, trained predictor)."""
+    return build_substrate(SubstrateConfig())
+
+
+@pytest.fixture(scope="session")
+def ab_result(substrate):
+    """The AA/AB campaign shared by the Figure 12–15 benchmarks."""
+    from repro.experiments import fig12_ab_test
+
+    return fig12_ab_test.run(substrate=substrate)

@@ -1,0 +1,39 @@
+"""Quickstart: play a video with several ABR algorithms and compare QoS.
+
+Run with ``python examples/quickstart.py``.  This exercises the simulation
+substrate only — no training, no personalization — and prints per-algorithm
+bitrate, stall time and ``QoE_lin`` on a bandwidth-constrained trace.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import BBA, BOLA, HYB, PlaybackSession, RobustMPC, ThroughputRule, Video
+from repro.analytics import session_qoe_lin
+from repro.sim import StationaryTraceGenerator
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    video = Video(num_segments=60, segment_duration=2.0, seed=1)
+    trace = StationaryTraceGenerator(mean_kbps=2500, std_kbps=800).generate(
+        length=120, rng=rng, name="constrained"
+    )
+    session = PlaybackSession()
+
+    print(f"video: {video.duration:.0f}s, ladder {video.ladder.bitrates_kbps} kbps")
+    print(f"trace: mean {trace.mean:.0f} kbps, std {trace.std:.0f} kbps")
+    print()
+    print(f"{'algorithm':<16} {'bitrate kbps':>12} {'stall s':>8} {'switches':>9} {'QoE_lin':>9}")
+    for abr in (HYB(), BBA(), BOLA(), ThroughputRule(), RobustMPC()):
+        playback = session.run(abr, video, trace, rng=rng)
+        print(
+            f"{abr.name:<16} {playback.mean_bitrate_kbps:>12.0f} "
+            f"{playback.total_stall_time:>8.2f} {playback.num_switches:>9d} "
+            f"{session_qoe_lin(playback):>9.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

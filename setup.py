@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The offline environment ships an older setuptools/pip without the ``wheel``
+package, so PEP 660 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to the legacy ``setup.py develop`` path, which works offline.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

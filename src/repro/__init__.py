@@ -1,0 +1,82 @@
+"""repro — reproduction of LingXi (SIGCOMM 2025).
+
+LingXi is a personalization layer for adaptive video streaming: it observes a
+user's engagement (exits) during playback and continuously re-tunes the
+optimization objective of the underlying ABR algorithm — per user — through a
+hybrid exit-rate predictor, Monte-Carlo virtual playback and online Bayesian
+optimization.
+
+Package map
+-----------
+``repro.sim``        playback simulator (video, bandwidth, player, sessions)
+``repro.abr``        ABR algorithms (HYB, BBA, BOLA, throughput, RobustMPC, Pensieve)
+``repro.nn``         numpy neural-network framework
+``repro.bayesopt``   Gaussian-process Bayesian optimization
+``repro.users``      user stall-perception and engagement models, populations
+``repro.analytics``  QoE_lin, playback logs, A/B testing statistics
+``repro.datasets``   synthetic production logs and exit-predictor datasets
+``repro.core``       LingXi itself (predictor, Monte Carlo, OBO controller)
+``repro.experiments`` per-figure reproduction drivers
+"""
+
+from repro.abr import HYB, BBA, BOLA, Pensieve, QoEParameters, RobustMPC, ThroughputRule
+from repro.core import (
+    ControllerConfig,
+    ExitRatePredictor,
+    LingXiABR,
+    LingXiController,
+    MonteCarloConfig,
+    MonteCarloEvaluator,
+    OverallStatisticsModel,
+    ParameterSpace,
+    PlayerSnapshot,
+    PruningPolicy,
+    TriggerPolicy,
+    UserState,
+)
+from repro.sim import (
+    BandwidthModel,
+    BandwidthTrace,
+    BitrateLadder,
+    PlaybackSession,
+    PlaybackTrace,
+    SessionConfig,
+    Video,
+    VideoLibrary,
+)
+from repro.users import UserPopulation, UserProfile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HYB",
+    "BBA",
+    "BOLA",
+    "Pensieve",
+    "RobustMPC",
+    "ThroughputRule",
+    "QoEParameters",
+    "ControllerConfig",
+    "ExitRatePredictor",
+    "LingXiABR",
+    "LingXiController",
+    "MonteCarloConfig",
+    "MonteCarloEvaluator",
+    "OverallStatisticsModel",
+    "ParameterSpace",
+    "PlayerSnapshot",
+    "PruningPolicy",
+    "TriggerPolicy",
+    "UserState",
+    "BandwidthModel",
+    "BandwidthTrace",
+    "BitrateLadder",
+    "PlaybackSession",
+    "PlaybackTrace",
+    "SessionConfig",
+    "Video",
+    "VideoLibrary",
+    "UserPopulation",
+    "UserProfile",
+    "__version__",
+]

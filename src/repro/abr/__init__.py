@@ -1,0 +1,41 @@
+"""Adaptive bitrate (ABR) algorithms.
+
+All algorithms implement the :class:`repro.abr.base.ABRAlgorithm` interface:
+they pick one ladder level per segment from an
+:class:`~repro.sim.session.ABRContext` snapshot, and they expose a runtime
+adjustable :class:`~repro.abr.base.QoEParameters` object — the hook LingXi
+uses to re-tune the optimization objective per user (stall/switch weights for
+explicit-QoE algorithms like RobustMPC and Pensieve, the aggressiveness
+``beta`` for implicit-QoE algorithms like HYB).
+
+Implemented algorithms:
+
+* :class:`~repro.abr.hyb.HYB` — max bitrate with ``d_k(Q)/C < beta * B`` (§5.3).
+* :class:`~repro.abr.bba.BBA` — buffer-based rate adaptation.
+* :class:`~repro.abr.bola.BOLA` — Lyapunov utility maximisation.
+* :class:`~repro.abr.throughput.ThroughputRule` — harmonic-mean rate matching.
+* :class:`~repro.abr.robust_mpc.RobustMPC` — model-predictive control of
+  ``QoE_lin`` over a look-ahead horizon.
+* :class:`~repro.abr.pensieve.Pensieve` — policy-gradient neural ABR with the
+  paper's augmentation (objective weights are part of the state).
+"""
+
+from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.abr.hyb import HYB
+from repro.abr.bba import BBA
+from repro.abr.bola import BOLA
+from repro.abr.throughput import ThroughputRule
+from repro.abr.robust_mpc import RobustMPC
+from repro.abr.pensieve import Pensieve, PensieveTrainer
+
+__all__ = [
+    "ABRAlgorithm",
+    "QoEParameters",
+    "HYB",
+    "BBA",
+    "BOLA",
+    "ThroughputRule",
+    "RobustMPC",
+    "Pensieve",
+    "PensieveTrainer",
+]

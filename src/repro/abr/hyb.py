@@ -1,0 +1,45 @@
+"""HYB: hybrid throughput/buffer rule with tunable aggressiveness ``beta``.
+
+HYB (Akhtar et al., SIGCOMM'18 baseline; §5.3 of the LingXi paper) has no
+explicit QoE objective: it picks the highest bitrate whose expected download
+time stays within a fraction ``beta`` of the current buffer,
+``d_k(Q)/C < beta * B``.  ``beta`` trades bandwidth-estimate confidence
+against stall risk, which is exactly the knob LingXi tunes per user in the
+production A/B test.
+"""
+
+from __future__ import annotations
+
+from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.sim.session import ABRContext
+
+
+class HYB(ABRAlgorithm):
+    """Highest bitrate satisfying ``segment_size / throughput < beta * buffer``."""
+
+    def __init__(
+        self,
+        parameters: QoEParameters | None = None,
+        throughput_window: int = 5,
+        startup_level: int = 0,
+    ) -> None:
+        super().__init__(parameters)
+        if throughput_window <= 0:
+            raise ValueError("throughput_window must be positive")
+        if startup_level < 0:
+            raise ValueError("startup_level must be non-negative")
+        self.throughput_window = throughput_window
+        self.startup_level = startup_level
+
+    def select_level(self, context: ABRContext) -> int:
+        """Apply the HYB rule to the current context."""
+        if not context.throughput_history_kbps:
+            return min(self.startup_level, context.ladder.num_levels - 1)
+        throughput = self.estimate_throughput(context, self.throughput_window)
+        budget = self.parameters.beta * max(context.buffer, 0.0)
+        chosen = 0
+        for level in range(context.ladder.num_levels):
+            download_time = context.next_segment_sizes_kbit[level] / max(throughput, 1e-9)
+            if download_time < budget:
+                chosen = level
+        return chosen

@@ -1,0 +1,95 @@
+"""RobustMPC: model-predictive control of ``QoE_lin`` (Yin et al., SIGCOMM'15).
+
+RobustMPC predicts throughput for the next ``horizon`` segments with a
+discounted harmonic mean (the "robust" correction: divide by one plus the
+maximum recent relative prediction error), enumerates every level sequence
+over the horizon, simulates the buffer evolution for each sequence, scores it
+with ``QoE_lin`` under the *current* :class:`~repro.abr.base.QoEParameters`
+(so LingXi can re-weight stall and switch penalties at runtime), and commits
+only the first decision.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.sim.session import ABRContext
+
+
+class RobustMPC(ABRAlgorithm):
+    """Exhaustive-search MPC over a short look-ahead horizon."""
+
+    def __init__(
+        self,
+        parameters: QoEParameters | None = None,
+        horizon: int = 4,
+        throughput_window: int = 5,
+    ) -> None:
+        super().__init__(parameters)
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if throughput_window <= 0:
+            raise ValueError("throughput_window must be positive")
+        self.horizon = horizon
+        self.throughput_window = throughput_window
+        self._past_errors: list[float] = []
+        self._last_prediction: float | None = None
+
+    def reset(self) -> None:
+        """Clear the prediction-error history."""
+        self._past_errors = []
+        self._last_prediction = None
+
+    def _robust_throughput(self, context: ABRContext) -> float:
+        history = context.throughput_history_kbps
+        if history and self._last_prediction is not None:
+            actual = history[-1]
+            error = abs(self._last_prediction - actual) / max(actual, 1e-9)
+            self._past_errors.append(error)
+            if len(self._past_errors) > self.throughput_window:
+                del self._past_errors[: len(self._past_errors) - self.throughput_window]
+        estimate = self.estimate_throughput(context, self.throughput_window)
+        max_error = max(self._past_errors) if self._past_errors else 0.0
+        robust = estimate / (1.0 + max_error)
+        self._last_prediction = estimate
+        return max(robust, 1e-6)
+
+    def select_level(self, context: ABRContext) -> int:
+        """Enumerate level sequences over the horizon and pick the best first step."""
+        ladder = context.ladder
+        num_levels = ladder.num_levels
+        if not context.throughput_history_kbps:
+            return 0
+        throughput = self._robust_throughput(context)
+        qualities = ladder.qualities()
+        mu = self.parameters.stall_penalty
+        switch_weight = self.parameters.switch_penalty
+        segment_duration = context.segment_duration
+        sizes = np.asarray(context.next_segment_sizes_kbit, dtype=float)
+
+        last_quality = (
+            qualities[context.last_level] if context.last_level is not None else qualities[0]
+        )
+        best_score = -np.inf
+        best_first = 0
+        for sequence in itertools.product(range(num_levels), repeat=self.horizon):
+            buffer = context.buffer
+            previous_quality = last_quality
+            score = 0.0
+            for level in sequence:
+                # Future segment sizes are approximated by the next segment's
+                # ladder sizes (the standard MPC simplification).
+                download_time = sizes[level] / throughput
+                stall = max(download_time - buffer, 0.0)
+                buffer = max(buffer - download_time, 0.0) + segment_duration
+                buffer = min(buffer, context.buffer_cap)
+                quality = qualities[level]
+                score += quality - mu * stall - switch_weight * abs(quality - previous_quality)
+                previous_quality = quality
+            if score > best_score:
+                best_score = score
+                best_first = sequence[0]
+        return best_first

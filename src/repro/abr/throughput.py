@@ -1,0 +1,45 @@
+"""Throughput-based rate matching (FESTIVE/PANDA-style baseline).
+
+Picks the highest rung whose nominal bitrate stays below a safety fraction of
+the harmonic-mean throughput estimate, with an optional one-level-per-segment
+switch limiter for smoothness (the "gradual switching" idea of FESTIVE).
+"""
+
+from __future__ import annotations
+
+from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.sim.session import ABRContext
+
+
+class ThroughputRule(ABRAlgorithm):
+    """Rate-matching rule with a safety margin and gradual switching."""
+
+    def __init__(
+        self,
+        parameters: QoEParameters | None = None,
+        safety: float = 0.85,
+        window: int = 5,
+        gradual: bool = True,
+    ) -> None:
+        super().__init__(parameters)
+        if not 0 < safety <= 1:
+            raise ValueError("safety must be in (0, 1]")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.safety = safety
+        self.window = window
+        self.gradual = gradual
+
+    def select_level(self, context: ABRContext) -> int:
+        """Match the sustainable bitrate, moving at most one rung when gradual."""
+        if not context.throughput_history_kbps:
+            return 0
+        estimate = self.safety * self.estimate_throughput(context, self.window)
+        target = context.ladder.level_for_bitrate(estimate)
+        if not self.gradual or context.last_level is None:
+            return target
+        if target > context.last_level:
+            return context.last_level + 1
+        if target < context.last_level:
+            return context.last_level - 1
+        return target

@@ -1,0 +1,39 @@
+"""Analytics: QoE metrics, log aggregation, A/B testing and correlations.
+
+* :mod:`repro.analytics.qoe` — ``QoE_lin`` (Equation 1) and per-session QoS
+  summaries.
+* :mod:`repro.analytics.logs` — production-style playback log schema
+  (session-level records wrapping per-segment traces) and aggregation helpers
+  used by the §2 analyses.
+* :mod:`repro.analytics.abtest` — A/B campaign bookkeeping, normalized daily
+  metrics, Welch t-tests and difference-in-differences estimation (§5.3).
+* :mod:`repro.analytics.correlation` — Pearson correlation and least-squares
+  trend lines (§5.5).
+"""
+
+from repro.analytics.qoe import qoe_lin, qoe_lin_components, session_qoe_lin
+from repro.analytics.logs import SessionLog, LogCollection
+from repro.analytics.metrics import GroupDailyMetrics, aggregate_daily_metrics
+from repro.analytics.abtest import (
+    ABTestResult,
+    welch_ttest,
+    relative_improvement,
+    difference_in_differences,
+)
+from repro.analytics.correlation import pearson_correlation, linear_trend
+
+__all__ = [
+    "qoe_lin",
+    "qoe_lin_components",
+    "session_qoe_lin",
+    "SessionLog",
+    "LogCollection",
+    "GroupDailyMetrics",
+    "aggregate_daily_metrics",
+    "ABTestResult",
+    "welch_ttest",
+    "relative_improvement",
+    "difference_in_differences",
+    "pearson_correlation",
+    "linear_trend",
+]

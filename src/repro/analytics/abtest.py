@@ -1,0 +1,101 @@
+"""A/B campaign statistics: Welch t-tests and difference-in-differences.
+
+The production evaluation (§5.3) runs a 10-day campaign: a 5-day AA phase to
+measure the baseline difference between the experimental and the control
+group, followed by a 5-day AB phase with LingXi enabled for the experimental
+group.  The reported effect is the difference-in-differences of the daily
+relative improvements, with a t-test on the per-day deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class ABTestResult:
+    """Outcome of a difference-in-differences analysis for one metric."""
+
+    metric: str
+    pre_relative_improvements: tuple[float, ...]
+    post_relative_improvements: tuple[float, ...]
+    effect: float
+    standard_error: float
+    t_statistic: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """True at the conventional 5% level."""
+        return self.p_value < 0.05
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.metric}: effect={self.effect * 100:+.3f}% "
+            f"± {self.standard_error * 100:.3f}% "
+            f"(t={self.t_statistic:.3f}, p={self.p_value:.4f})"
+        )
+
+
+def welch_ttest(sample_a: Sequence[float], sample_b: Sequence[float]) -> tuple[float, float]:
+    """Welch's unequal-variance t-test; returns ``(t_statistic, p_value)``."""
+    a = np.asarray(sample_a, dtype=float)
+    b = np.asarray(sample_b, dtype=float)
+    if a.size < 2 or b.size < 2:
+        raise ValueError("each sample needs at least two observations")
+    result = stats.ttest_ind(a, b, equal_var=False)
+    return float(result.statistic), float(result.pvalue)
+
+
+def relative_improvement(treatment: Sequence[float], control: Sequence[float]) -> np.ndarray:
+    """Per-day relative improvement ``(treatment - control) / control``."""
+    treatment_arr = np.asarray(treatment, dtype=float)
+    control_arr = np.asarray(control, dtype=float)
+    if treatment_arr.shape != control_arr.shape:
+        raise ValueError("treatment and control must have the same length")
+    if np.any(control_arr == 0):
+        raise ValueError("control values must be non-zero")
+    return (treatment_arr - control_arr) / control_arr
+
+
+def difference_in_differences(
+    metric: str,
+    treatment_pre: Sequence[float],
+    control_pre: Sequence[float],
+    treatment_post: Sequence[float],
+    control_post: Sequence[float],
+) -> ABTestResult:
+    """Difference-in-differences on daily relative improvements.
+
+    The AA phase (``*_pre``) measures the inherent bias between the groups;
+    the AB phase (``*_post``) measures bias plus treatment effect.  The effect
+    is the mean post-improvement minus the mean pre-improvement, with a
+    one-sample t-test of the post-minus-pre-mean daily deltas against zero.
+    """
+    pre = relative_improvement(treatment_pre, control_pre)
+    post = relative_improvement(treatment_post, control_post)
+    if pre.size < 2 or post.size < 2:
+        raise ValueError("need at least two pre and two post days")
+    deltas = post - pre.mean()
+    effect = float(deltas.mean())
+    standard_error = float(deltas.std(ddof=1) / np.sqrt(deltas.size))
+    if standard_error == 0:
+        t_statistic = float("inf") if effect != 0 else 0.0
+        p_value = 0.0 if effect != 0 else 1.0
+    else:
+        t_statistic = effect / standard_error
+        p_value = float(2.0 * stats.t.sf(abs(t_statistic), df=deltas.size - 1))
+    return ABTestResult(
+        metric=metric,
+        pre_relative_improvements=tuple(float(v) for v in pre),
+        post_relative_improvements=tuple(float(v) for v in post),
+        effect=effect,
+        standard_error=standard_error,
+        t_statistic=t_statistic,
+        p_value=p_value,
+    )

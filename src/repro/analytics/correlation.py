@@ -1,0 +1,32 @@
+"""Correlation and trend-line helpers for the user-level analyses (§5.5)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient between two samples."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("x and y must have the same length")
+    if x_arr.size < 2:
+        raise ValueError("need at least two points")
+    if x_arr.std() == 0 or y_arr.std() == 0:
+        return 0.0
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])
+
+
+def linear_trend(x: Sequence[float], y: Sequence[float]) -> tuple[float, float]:
+    """Least-squares line ``y ≈ slope * x + intercept``; returns (slope, intercept)."""
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.shape != y_arr.shape:
+        raise ValueError("x and y must have the same length")
+    if x_arr.size < 2:
+        raise ValueError("need at least two points")
+    slope, intercept = np.polyfit(x_arr, y_arr, deg=1)
+    return float(slope), float(intercept)

@@ -1,0 +1,292 @@
+"""Production-style playback logs.
+
+The paper's §2 analyses run over 1.5 million playback trajectories, each
+describing one video playback session (user id, timestamps, video length,
+watch time, and per-segment buffer / bitrate / size / download / stall
+information).  :class:`SessionLog` is that record; :class:`LogCollection`
+holds a corpus of them and provides the aggregations the §2 figures need
+(exit rate by quality tier, by switch granularity, by stall-time bin, watch
+time by QoS, daily stall counts, tolerable stall times, …).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.sim.session import PlaybackTrace, SegmentRecord
+
+
+@dataclass(frozen=True)
+class SessionLog:
+    """One playback session in the production log."""
+
+    user_id: str
+    day: int
+    session_index: int
+    trace: PlaybackTrace
+    mean_bandwidth_kbps: float
+
+    @property
+    def records(self) -> Sequence[SegmentRecord]:
+        """Per-segment records of the session."""
+        return self.trace.records
+
+    @property
+    def watch_time(self) -> float:
+        """Seconds of video watched."""
+        return self.trace.watch_time
+
+    @property
+    def exited_early(self) -> bool:
+        """True when the user abandoned the video before its end."""
+        return self.trace.exited_early
+
+    @property
+    def total_stall_time(self) -> float:
+        """Total stall time in the session (seconds)."""
+        return self.trace.total_stall_time
+
+    @property
+    def stall_count(self) -> int:
+        """Number of stall events in the session."""
+        return self.trace.stall_count
+
+
+class LogCollection:
+    """A corpus of :class:`SessionLog` records with §2-style aggregations."""
+
+    def __init__(self, sessions: Iterable[SessionLog]) -> None:
+        self._sessions = list(sessions)
+        if not self._sessions:
+            raise ValueError("a log collection needs at least one session")
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __iter__(self) -> Iterator[SessionLog]:
+        return iter(self._sessions)
+
+    def __getitem__(self, index: int) -> SessionLog:
+        return self._sessions[index]
+
+    @property
+    def sessions(self) -> Sequence[SessionLog]:
+        """All sessions."""
+        return tuple(self._sessions)
+
+    def filter(self, predicate: Callable[[SessionLog], bool]) -> "LogCollection":
+        """Sub-collection of sessions matching ``predicate``."""
+        kept = [s for s in self._sessions if predicate(s)]
+        if not kept:
+            raise ValueError("filter produced an empty collection")
+        return LogCollection(kept)
+
+    def users(self) -> list[str]:
+        """Distinct user ids, in first-seen order."""
+        seen: dict[str, None] = {}
+        for session in self._sessions:
+            seen.setdefault(session.user_id, None)
+        return list(seen)
+
+    def days(self) -> list[int]:
+        """Distinct day indices, sorted."""
+        return sorted({s.day for s in self._sessions})
+
+    # ------------------------------------------------------------------ #
+    # Segment-level aggregations (exit-rate analyses of Figure 4)
+    # ------------------------------------------------------------------ #
+    def segment_exit_rate(self, predicate: Callable[[SegmentRecord], bool] | None = None) -> float:
+        """Exit probability per watched segment, optionally restricted by ``predicate``."""
+        watched = 0
+        exited = 0
+        for session in self._sessions:
+            for record in session.records:
+                if predicate is not None and not predicate(record):
+                    continue
+                watched += 1
+                exited += int(record.exited)
+        if watched == 0:
+            return float("nan")
+        return exited / watched
+
+    def exit_rate_by_level(self, num_levels: int) -> np.ndarray:
+        """Exit rate per quality level (Figure 4a)."""
+        return np.asarray(
+            [
+                self.segment_exit_rate(lambda r, lvl=level: r.level == lvl)
+                for level in range(num_levels)
+            ]
+        )
+
+    def exit_rate_by_switch(
+        self, granularities: Sequence[int], min_samples: int = 20
+    ) -> dict[int, float]:
+        """Exit rate by signed switch granularity (Figure 4b).
+
+        Granularity 0 means "no switch"; +g / -g are upward / downward jumps
+        of g rungs relative to the previous segment.  Granularities observed
+        fewer than ``min_samples`` times report ``nan``.
+        """
+        counts: dict[int, list[int]] = {g: [0, 0] for g in granularities}
+        for session in self._sessions:
+            previous_level: int | None = None
+            for record in session.records:
+                if previous_level is not None:
+                    switch = record.level - previous_level
+                    if switch in counts:
+                        counts[switch][0] += 1
+                        counts[switch][1] += int(record.exited)
+                previous_level = record.level
+        return {
+            g: (exited / watched if watched >= min_samples else float("nan"))
+            for g, (watched, exited) in counts.items()
+        }
+
+    def exit_rate_by_stall_time(
+        self,
+        bins: Sequence[float],
+        record_filter: Callable[[SegmentRecord], bool] | None = None,
+        min_samples: int = 20,
+    ) -> np.ndarray:
+        """Exit rate per cumulative-stall-time bin (Figures 4c/4d).
+
+        ``bins`` are the left edges (seconds); segment ``i`` falls into the
+        last bin whose edge does not exceed its cumulative stall time.  Bins
+        with fewer than ``min_samples`` segments report ``nan``.
+        """
+        edges = np.asarray(bins, dtype=float)
+        watched = np.zeros(edges.size)
+        exited = np.zeros(edges.size)
+        for session in self._sessions:
+            for record in session.records:
+                if record_filter is not None and not record_filter(record):
+                    continue
+                index = int(np.searchsorted(edges, record.cumulative_stall_time, side="right") - 1)
+                index = max(index, 0)
+                watched[index] += 1
+                exited[index] += int(record.exited)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(watched >= min_samples, exited / watched, np.nan)
+
+    # ------------------------------------------------------------------ #
+    # Session-level aggregations (watch time, stall counts, tolerances)
+    # ------------------------------------------------------------------ #
+    def watch_time_by_level(self, num_levels: int) -> np.ndarray:
+        """Mean watch time of sessions grouped by their dominant quality level."""
+        sums = np.zeros(num_levels)
+        counts = np.zeros(num_levels)
+        for session in self._sessions:
+            if not session.records:
+                continue
+            levels = [r.level for r in session.records]
+            dominant = int(np.bincount(levels, minlength=num_levels).argmax())
+            sums[dominant] += session.watch_time
+            counts[dominant] += 1
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, sums / counts, np.nan)
+
+    def watch_time_by_stall_time(self, bins: Sequence[float]) -> np.ndarray:
+        """Mean watch time of sessions grouped by total stall time bin."""
+        edges = np.asarray(bins, dtype=float)
+        sums = np.zeros(edges.size)
+        counts = np.zeros(edges.size)
+        for session in self._sessions:
+            index = int(np.searchsorted(edges, session.total_stall_time, side="right") - 1)
+            index = max(index, 0)
+            sums[index] += session.watch_time
+            counts[index] += 1
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(counts > 0, sums / counts, np.nan)
+
+    def daily_stall_counts(self) -> dict[tuple[str, int], int]:
+        """Stall events per (user, day)."""
+        counts: dict[tuple[str, int], int] = defaultdict(int)
+        for session in self._sessions:
+            counts[(session.user_id, session.day)] += session.stall_count
+        return dict(counts)
+
+    def daily_stall_counts_by_bandwidth(
+        self, bin_edges_kbps: Sequence[float]
+    ) -> dict[str, list[int]]:
+        """Per-day stall counts grouped into bandwidth bins (Figure 8a).
+
+        Returns a mapping from a bin label (``"lo-hi"`` in Mbps) to the list
+        of per-(user, day) stall counts of users whose mean bandwidth falls in
+        the bin.
+        """
+        edges = list(bin_edges_kbps)
+        if len(edges) < 2:
+            raise ValueError("need at least two bin edges")
+        per_user_day: dict[tuple[str, int], int] = defaultdict(int)
+        user_bandwidth: dict[str, list[float]] = defaultdict(list)
+        for session in self._sessions:
+            per_user_day[(session.user_id, session.day)] += session.stall_count
+            user_bandwidth[session.user_id].append(session.mean_bandwidth_kbps)
+        result: dict[str, list[int]] = {}
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            label = f"{lo / 1000:g}-{hi / 1000:g} Mbps"
+            users = {
+                u for u, bws in user_bandwidth.items() if lo <= float(np.mean(bws)) < hi
+            }
+            result[label] = [
+                count for (user, _day), count in per_user_day.items() if user in users
+            ]
+        return result
+
+    def tolerable_stall_times(self) -> dict[str, float]:
+        """Per-user average tolerable stall time (Figure 5a).
+
+        For each user, sessions where they kept watching through stalls
+        contribute their total stall time; the user's tolerance is the mean
+        over those sessions.  Users who never experienced a stall are skipped.
+        """
+        tolerated: dict[str, list[float]] = defaultdict(list)
+        for session in self._sessions:
+            if session.total_stall_time <= 0:
+                continue
+            exited_on_stall = (
+                session.exited_early
+                and session.records
+                and session.records[-1].stall_time > 0
+            )
+            if not exited_on_stall:
+                tolerated[session.user_id].append(session.total_stall_time)
+        return {user: float(np.mean(values)) for user, values in tolerated.items() if values}
+
+    def stall_exit_rate_by_user(self, min_stall_events: int = 1) -> dict[str, float]:
+        """Per-user fraction of stall events that led to an exit (§5.5).
+
+        A stall event "leads to an exit" when the user exits at the segment
+        that stalled or the next one.
+        """
+        stats: dict[str, list[int]] = defaultdict(lambda: [0, 0])
+        for session in self._sessions:
+            records = session.records
+            for i, record in enumerate(records):
+                if record.stall_time <= 0:
+                    continue
+                stats[session.user_id][0] += 1
+                exited_now = record.exited
+                exited_next = i + 1 < len(records) and records[i + 1].exited
+                if exited_now or exited_next:
+                    stats[session.user_id][1] += 1
+        return {
+            user: exits / events
+            for user, (events, exits) in stats.items()
+            if events >= min_stall_events
+        }
+
+    def group_by_user(self) -> dict[str, list[SessionLog]]:
+        """Sessions grouped per user, preserving order."""
+        groups: dict[str, list[SessionLog]] = defaultdict(list)
+        for session in self._sessions:
+            groups[session.user_id].append(session)
+        return dict(groups)
+
+    def extend(self, other: "LogCollection") -> "LogCollection":
+        """New collection containing this corpus followed by ``other``."""
+        return LogCollection(list(self._sessions) + list(other.sessions))

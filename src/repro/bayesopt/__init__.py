@@ -1,0 +1,38 @@
+"""Bayesian optimization (Gaussian-process surrogate + acquisition functions).
+
+LingXi treats the mapping from QoE parameters to the user's exit rate as a
+black box and optimises it with Online Bayesian Optimization (§3.1): a GP
+surrogate is fitted to the (parameters, exit-rate) trials observed so far, an
+acquisition function proposes the next candidate, and successive activations
+of the QoE-adjustment mechanism warm-start from the previous optimum.
+
+* :mod:`repro.bayesopt.kernels` — RBF and Matérn-5/2 kernels.
+* :mod:`repro.bayesopt.gp` — Gaussian-process regression (Cholesky based).
+* :mod:`repro.bayesopt.acquisition` — Expected Improvement, Probability of
+  Improvement, Lower Confidence Bound (we minimise).
+* :mod:`repro.bayesopt.optimizer` — the sequential :class:`BayesianOptimizer`.
+* :mod:`repro.bayesopt.online` — :class:`OnlineBayesianOptimizer`, the
+  warm-started OBO wrapper used by the LingXi controller.
+"""
+
+from repro.bayesopt.kernels import RBFKernel, Matern52Kernel
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.acquisition import (
+    expected_improvement,
+    probability_of_improvement,
+    lower_confidence_bound,
+)
+from repro.bayesopt.optimizer import BayesianOptimizer, Trial
+from repro.bayesopt.online import OnlineBayesianOptimizer
+
+__all__ = [
+    "RBFKernel",
+    "Matern52Kernel",
+    "GaussianProcess",
+    "expected_improvement",
+    "probability_of_improvement",
+    "lower_confidence_bound",
+    "BayesianOptimizer",
+    "Trial",
+    "OnlineBayesianOptimizer",
+]

@@ -1,0 +1,38 @@
+"""Acquisition functions for minimisation problems.
+
+LingXi minimises the predicted exit rate, so all acquisitions below are
+written for minimisation: larger acquisition values indicate more promising
+candidates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
+    """Expected improvement below the incumbent ``best`` (minimisation)."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    improvement = best - mean - xi
+    z = improvement / std
+    return improvement * stats.norm.cdf(z) + std * stats.norm.pdf(z)
+
+
+def probability_of_improvement(
+    mean: np.ndarray, std: np.ndarray, best: float, xi: float = 0.01
+) -> np.ndarray:
+    """Probability of improving on the incumbent ``best`` (minimisation)."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    return stats.norm.cdf((best - mean - xi) / std)
+
+
+def lower_confidence_bound(mean: np.ndarray, std: np.ndarray, kappa: float = 2.0) -> np.ndarray:
+    """Negative LCB so that larger is better for minimisation."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    return -(mean - kappa * std)

@@ -1,0 +1,70 @@
+"""Gaussian-process regression with a Cholesky solve."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayesopt.kernels import RBFKernel
+
+
+class GaussianProcess:
+    """Zero-mean GP regression surrogate.
+
+    Observations are internally centred on their mean, which keeps the
+    zero-mean assumption harmless for exit-rate surfaces whose baseline is far
+    from zero.
+    """
+
+    def __init__(self, kernel=None, noise: float = 1e-4) -> None:
+        if noise < 0:
+            raise ValueError("noise must be non-negative")
+        self.kernel = kernel or RBFKernel()
+        self.noise = noise
+        self._x: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._alpha: np.ndarray | None = None
+        self._cholesky: np.ndarray | None = None
+
+    @property
+    def num_observations(self) -> int:
+        """Number of fitted observations."""
+        return 0 if self._x is None else self._x.shape[0]
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit the GP to observations ``x`` (n, d) and targets ``y`` (n,)."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("x and y must have the same number of rows")
+        if x.shape[0] == 0:
+            raise ValueError("need at least one observation")
+        self._x = x
+        self._y_mean = float(y.mean())
+        centred = y - self._y_mean
+        covariance = self.kernel(x, x) + (self.noise + 1e-10) * np.eye(x.shape[0])
+        # Add jitter until the Cholesky succeeds (degenerate repeated points).
+        jitter = 0.0
+        for _ in range(6):
+            try:
+                self._cholesky = np.linalg.cholesky(covariance + jitter * np.eye(x.shape[0]))
+                break
+            except np.linalg.LinAlgError:
+                jitter = max(jitter * 10.0, 1e-8)
+        else:
+            raise np.linalg.LinAlgError("covariance matrix is not positive definite")
+        self._alpha = np.linalg.solve(
+            self._cholesky.T, np.linalg.solve(self._cholesky, centred)
+        )
+        return self
+
+    def predict(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at query points ``x``."""
+        if self._x is None or self._alpha is None or self._cholesky is None:
+            raise RuntimeError("predict called before fit")
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        cross = self.kernel(x, self._x)
+        mean = cross @ self._alpha + self._y_mean
+        v = np.linalg.solve(self._cholesky, cross.T)
+        prior_var = np.diag(self.kernel(x, x))
+        variance = np.maximum(prior_var - np.sum(v**2, axis=0), 1e-12)
+        return mean, np.sqrt(variance)

@@ -1,0 +1,95 @@
+"""Online Bayesian Optimization (OBO) with warm starts across activations.
+
+§3.1: "The optimization process initializes with default parameters and, upon
+activation of the QoE adjustment mechanism, leverages previously optimized
+configurations as initialization points for subsequent iterations."  The
+wrapper below keeps a per-user history of (parameters, exit rate) trials;
+every new activation spins up a fresh :class:`BayesianOptimizer` seeded with a
+decayed subset of that history so the search is responsive to temporal drift
+while still benefiting from what was already learned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bayesopt.optimizer import BayesianOptimizer, Trial
+
+
+class OnlineBayesianOptimizer:
+    """Warm-started sequence of Bayesian optimization rounds."""
+
+    def __init__(
+        self,
+        bounds: np.ndarray,
+        acquisition: str = "ei",
+        memory: int = 12,
+        decay: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        if memory < 1:
+            raise ValueError("memory must be at least 1")
+        if not 0 < decay <= 1:
+            raise ValueError("decay must be in (0, 1]")
+        self.bounds = np.asarray(bounds, dtype=float)
+        self.acquisition = acquisition
+        self.memory = memory
+        self.decay = decay
+        self.seed = seed
+        self._history: list[Trial] = []
+        self._round = 0
+        self._active: BayesianOptimizer | None = None
+
+    @property
+    def history(self) -> list[Trial]:
+        """Trials carried across activations."""
+        return list(self._history)
+
+    @property
+    def best_trial(self) -> Trial | None:
+        """Best trial across the whole history."""
+        if not self._history:
+            return None
+        return min(self._history, key=lambda t: t.value)
+
+    def start_round(self, incumbent: np.ndarray | None = None, incumbent_value: float | None = None) -> None:
+        """Begin a new activation (``OBO.init`` in Algorithm 1).
+
+        ``incumbent``/``incumbent_value`` optionally record the currently
+        deployed parameters and their freshly measured objective, which become
+        part of the warm start.
+        """
+        self._round += 1
+        optimizer = BayesianOptimizer(
+            bounds=self.bounds,
+            acquisition=self.acquisition,
+            seed=self.seed + self._round,
+        )
+        if incumbent is not None and incumbent_value is not None:
+            self._history.append(
+                Trial(x=tuple(float(v) for v in np.asarray(incumbent, dtype=float)), value=float(incumbent_value))
+            )
+        # Decayed warm start: keep the most recent trials, best first.
+        recent = self._history[-self.memory :]
+        for age, trial in enumerate(reversed(recent)):
+            weight = self.decay**age
+            if weight < 0.1:
+                continue
+            optimizer.update(np.asarray(trial.x), trial.value)
+        self._active = optimizer
+
+    def next_candidate(self) -> np.ndarray:
+        """Next parameter vector to evaluate (``OBO.next_candidate``)."""
+        if self._active is None:
+            self.start_round()
+        assert self._active is not None
+        return self._active.suggest()
+
+    def update(self, x: np.ndarray, value: float) -> None:
+        """Record an evaluated candidate (``OBO.update``)."""
+        if self._active is None:
+            raise RuntimeError("update called before start_round")
+        self._active.update(x, value)
+        self._history.append(self._active.trials[-1])
+        if len(self._history) > 10 * self.memory:
+            del self._history[: len(self._history) - 10 * self.memory]

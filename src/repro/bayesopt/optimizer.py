@@ -1,0 +1,128 @@
+"""Sequential Bayesian optimizer over a box domain (minimisation)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bayesopt.acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+from repro.bayesopt.gp import GaussianProcess
+from repro.bayesopt.kernels import Matern52Kernel
+
+_ACQUISITIONS = ("ei", "pi", "lcb")
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated candidate."""
+
+    x: tuple[float, ...]
+    value: float
+
+
+class BayesianOptimizer:
+    """GP-based sequential minimiser with random-restart acquisition search.
+
+    Parameters are normalised to the unit cube internally; candidates are
+    proposed by scoring a random cloud of points (plus the incumbent's
+    neighbourhood) under the acquisition function.
+    """
+
+    def __init__(
+        self,
+        bounds: np.ndarray,
+        acquisition: str = "ei",
+        kernel_length_scale: float = 0.2,
+        noise: float = 1e-4,
+        num_candidates: int = 256,
+        initial_random: int = 3,
+        seed: int = 0,
+    ) -> None:
+        bounds = np.asarray(bounds, dtype=float)
+        if bounds.ndim != 2 or bounds.shape[1] != 2:
+            raise ValueError("bounds must be an array of (lower, upper) rows")
+        if np.any(bounds[:, 1] <= bounds[:, 0]):
+            raise ValueError("upper bounds must exceed lower bounds")
+        if acquisition not in _ACQUISITIONS:
+            raise ValueError(f"acquisition must be one of {_ACQUISITIONS}")
+        if initial_random < 1:
+            raise ValueError("initial_random must be at least 1")
+        self.bounds = bounds
+        self.acquisition = acquisition
+        self.num_candidates = num_candidates
+        self.initial_random = initial_random
+        self.rng = np.random.default_rng(seed)
+        self.gp = GaussianProcess(
+            kernel=Matern52Kernel(length_scale=kernel_length_scale), noise=noise
+        )
+        self.trials: list[Trial] = []
+
+    @property
+    def dimension(self) -> int:
+        """Number of optimised parameters."""
+        return self.bounds.shape[0]
+
+    def _normalise(self, x: np.ndarray) -> np.ndarray:
+        return (x - self.bounds[:, 0]) / (self.bounds[:, 1] - self.bounds[:, 0])
+
+    def _denormalise(self, u: np.ndarray) -> np.ndarray:
+        return self.bounds[:, 0] + u * (self.bounds[:, 1] - self.bounds[:, 0])
+
+    @property
+    def best_trial(self) -> Trial | None:
+        """Trial with the lowest observed value (None before any update)."""
+        if not self.trials:
+            return None
+        return min(self.trials, key=lambda t: t.value)
+
+    def suggest(self) -> np.ndarray:
+        """Propose the next candidate parameter vector (denormalised)."""
+        if len(self.trials) < self.initial_random:
+            return self._denormalise(self.rng.random(self.dimension))
+
+        x = np.asarray([t.x for t in self.trials], dtype=float)
+        y = np.asarray([t.value for t in self.trials], dtype=float)
+        self.gp.fit(self._normalise(x), y)
+
+        candidates = self.rng.random((self.num_candidates, self.dimension))
+        best = self.best_trial
+        if best is not None:
+            local = self._normalise(np.asarray(best.x)) + self.rng.normal(
+                0.0, 0.05, size=(max(self.num_candidates // 8, 1), self.dimension)
+            )
+            candidates = np.vstack([candidates, np.clip(local, 0.0, 1.0)])
+
+        mean, std = self.gp.predict(candidates)
+        incumbent = float(y.min())
+        if self.acquisition == "ei":
+            scores = expected_improvement(mean, std, incumbent)
+        elif self.acquisition == "pi":
+            scores = probability_of_improvement(mean, std, incumbent)
+        else:
+            scores = lower_confidence_bound(mean, std)
+        return self._denormalise(candidates[int(np.argmax(scores))])
+
+    def update(self, x: np.ndarray, value: float) -> None:
+        """Record the observed objective ``value`` at candidate ``x``."""
+        x = np.asarray(x, dtype=float).ravel()
+        if x.shape[0] != self.dimension:
+            raise ValueError("candidate has the wrong dimensionality")
+        if not np.isfinite(value):
+            raise ValueError("objective value must be finite")
+        self.trials.append(Trial(x=tuple(float(v) for v in x), value=float(value)))
+
+    def minimize(self, objective, num_iterations: int = 20) -> Trial:
+        """Convenience loop: suggest → evaluate → update, returning the best trial."""
+        if num_iterations <= 0:
+            raise ValueError("num_iterations must be positive")
+        for _ in range(num_iterations):
+            candidate = self.suggest()
+            self.update(candidate, float(objective(candidate)))
+        best = self.best_trial
+        assert best is not None
+        return best

@@ -1,0 +1,245 @@
+"""LingXi controller (Algorithm 1) and the ``LingXiABR`` integration wrapper.
+
+The controller owns the per-user optimization loop: it accumulates the dual
+layer user state from played segments, decides when to activate (trigger of
+§4), prunes activations that cannot help, and — when activated — runs either
+online Bayesian optimization (``L(B)``) or a fixed candidate sweep (``L(F)``)
+with the Monte-Carlo evaluator scoring each candidate.  The best candidate
+becomes the ABR's new objective.
+
+:class:`LingXiABR` packages a controller together with any
+:class:`~repro.abr.base.ABRAlgorithm` so the combination drops straight into
+the session engine: bitrate decisions are delegated to the wrapped algorithm
+and every downloaded segment is fed back into the controller through the
+``observe`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.bayesopt.online import OnlineBayesianOptimizer
+from repro.core.exit_predictor import ExitRatePredictor
+from repro.core.monte_carlo import MonteCarloConfig, MonteCarloEvaluator
+from repro.core.parameter_space import ParameterSpace
+from repro.core.state import PlayerSnapshot, UserState
+from repro.core.triggers import PruningPolicy, TriggerPolicy
+from repro.sim.bandwidth import BandwidthModel
+from repro.sim.session import ABRContext, SegmentRecord
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Optimization-loop knobs of Algorithm 1."""
+
+    mode: str = "bayesian"
+    max_sample_times: int = 6
+    fixed_candidates_per_dimension: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("bayesian", "fixed"):
+            raise ValueError("mode must be 'bayesian' or 'fixed'")
+        if self.max_sample_times < 1:
+            raise ValueError("max_sample_times must be at least 1")
+        if self.fixed_candidates_per_dimension < 2:
+            raise ValueError("fixed_candidates_per_dimension must be at least 2")
+
+
+@dataclass(frozen=True)
+class OptimizationEvent:
+    """Record of one activation of the QoE-adjustment mechanism."""
+
+    activation_index: int
+    trigger_stall_count: int
+    chosen_parameters: QoEParameters
+    predicted_exit_rate: float
+    candidates_evaluated: int
+
+
+class LingXiController:
+    """Per-user personalization loop: state tracking + triggered optimization."""
+
+    def __init__(
+        self,
+        parameter_space: ParameterSpace,
+        predictor: ExitRatePredictor,
+        monte_carlo: MonteCarloConfig | None = None,
+        trigger: TriggerPolicy | None = None,
+        pruning: PruningPolicy | None = None,
+        config: ControllerConfig | None = None,
+    ) -> None:
+        self.parameter_space = parameter_space
+        self.predictor = predictor
+        self.config = config or ControllerConfig()
+        self.trigger = trigger or TriggerPolicy()
+        self.pruning = pruning or PruningPolicy()
+        self.evaluator = MonteCarloEvaluator(
+            predictor, config=monte_carlo, pruning=self.pruning
+        )
+        self.obo = OnlineBayesianOptimizer(
+            bounds=parameter_space.bounds_array(), seed=self.config.seed
+        )
+        self.user_state = UserState()
+        self.best_parameters = parameter_space.to_parameters(parameter_space.default_vector())
+        self.stalls_since_optimization = 0
+        self.history: list[OptimizationEvent] = []
+        self._rng = np.random.default_rng(self.config.seed)
+
+    def start_session(self) -> None:
+        """Reset the short-term state layer at session start."""
+        self.user_state.start_session()
+
+    def observe_segment(
+        self,
+        bitrate_kbps: float,
+        throughput_kbps: float,
+        stall_time: float,
+        segment_duration: float,
+        exited: bool = False,
+    ) -> None:
+        """Fold one played segment into the user state and the trigger counter."""
+        self.user_state.observe_segment(
+            bitrate_kbps=bitrate_kbps,
+            throughput_kbps=throughput_kbps,
+            stall_time=stall_time,
+            segment_duration=segment_duration,
+            exited=exited,
+        )
+        if stall_time > 1e-12:
+            self.stalls_since_optimization += 1
+
+    def should_optimize(self, bandwidth: BandwidthModel, max_bitrate_kbps: float) -> bool:
+        """Trigger threshold reached and not pruned away by the bandwidth rule."""
+        if not self.trigger.should_trigger(self.stalls_since_optimization):
+            return False
+        if self.pruning.skip_optimization(bandwidth, max_bitrate_kbps):
+            return False
+        return True
+
+    def optimize(self, abr: ABRAlgorithm, snapshot: PlayerSnapshot) -> QoEParameters:
+        """Run one activation: evaluate candidates and deploy the best one.
+
+        All candidates within one activation are evaluated under common random
+        numbers (the same Monte-Carlo seed), so the comparison between
+        candidates is paired and not dominated by sampling noise.
+        """
+        activation_seed = int(self._rng.integers(2**31 - 1))
+
+        def evaluate(parameters: QoEParameters, best: float) -> float:
+            return self.evaluator.evaluate(
+                parameters,
+                abr,
+                snapshot,
+                self.user_state,
+                rng=np.random.default_rng(activation_seed),
+                best_exit_rate=best,
+            )
+
+        if self.config.mode == "fixed":
+            candidates = self.parameter_space.candidate_grid(
+                self.config.fixed_candidates_per_dimension
+            )
+            best_value = float("inf")
+            best_parameters = self.best_parameters
+            for candidate in candidates:
+                value = evaluate(candidate, best_value)
+                if value < best_value:
+                    best_value = value
+                    best_parameters = candidate
+            evaluated = len(candidates)
+        else:
+            incumbent_vector = self.parameter_space.to_vector(self.best_parameters)
+            incumbent_value = evaluate(self.best_parameters, float("inf"))
+            self.obo.start_round(incumbent=incumbent_vector, incumbent_value=incumbent_value)
+            best_value = incumbent_value
+            best_parameters = self.best_parameters
+            for _ in range(self.config.max_sample_times):
+                candidate_vector = self.obo.next_candidate()
+                candidate = self.parameter_space.to_parameters(candidate_vector)
+                value = evaluate(candidate, best_value)
+                self.obo.update(candidate_vector, value)
+                if value < best_value:
+                    best_value = value
+                    best_parameters = candidate
+            evaluated = self.config.max_sample_times + 1
+
+        self.history.append(
+            OptimizationEvent(
+                activation_index=len(self.history),
+                trigger_stall_count=self.stalls_since_optimization,
+                chosen_parameters=best_parameters,
+                predicted_exit_rate=float(best_value),
+                candidates_evaluated=evaluated,
+            )
+        )
+        self.best_parameters = best_parameters
+        self.stalls_since_optimization = 0
+        return best_parameters
+
+
+class LingXiABR(ABRAlgorithm):
+    """Any ABR + a LingXi controller, packaged as a single session-ready ABR."""
+
+    def __init__(
+        self,
+        inner: ABRAlgorithm,
+        controller: LingXiController,
+        bandwidth_window: int = 8,
+    ) -> None:
+        super().__init__(inner.parameters)
+        self.inner = inner
+        self.controller = controller
+        self.bandwidth_model = BandwidthModel(window=bandwidth_window)
+        self._last_context: ABRContext | None = None
+        self.inner.set_parameters(controller.best_parameters)
+        super().set_parameters(controller.best_parameters)
+
+    @property
+    def name(self) -> str:
+        """LingXi-wrapped name, e.g. ``LingXi(HYB)``."""
+        return f"LingXi({self.inner.name})"
+
+    def reset(self) -> None:
+        """Start a new session on both the inner ABR and the controller."""
+        self.inner.reset()
+        self.controller.start_session()
+        self._last_context = None
+
+    def set_parameters(self, parameters: QoEParameters) -> None:
+        """Forward parameter changes to the wrapped algorithm."""
+        super().set_parameters(parameters)
+        self.inner.set_parameters(parameters)
+
+    def select_level(self, context: ABRContext) -> int:
+        """Delegate the bitrate decision to the wrapped algorithm."""
+        self._last_context = context
+        return self.inner.select_level(context)
+
+    def observe(self, record: SegmentRecord) -> None:
+        """Segment feedback hook called by the session engine after each download."""
+        context = self._last_context
+        if context is None:
+            return
+        self.bandwidth_model.update(record.bandwidth_kbps)
+        self.controller.observe_segment(
+            bitrate_kbps=record.bitrate_kbps,
+            throughput_kbps=record.bandwidth_kbps,
+            stall_time=record.stall_time,
+            segment_duration=context.segment_duration,
+            exited=record.exited,
+        )
+        if not self.controller.should_optimize(self.bandwidth_model, context.ladder.max_bitrate):
+            return
+        snapshot = PlayerSnapshot(
+            ladder=context.ladder,
+            segment_duration=context.segment_duration,
+            buffer=record.buffer_after,
+            last_level=record.level,
+            bandwidth_model=self.bandwidth_model.copy(),
+        )
+        new_parameters = self.controller.optimize(self.inner, snapshot)
+        self.set_parameters(new_parameters)

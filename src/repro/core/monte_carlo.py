@@ -1,0 +1,151 @@
+"""Monte-Carlo parameter evaluation (Algorithm 2).
+
+Given candidate QoE parameters, the evaluator runs ``M`` virtual playback
+samples from the live player snapshot: future bandwidth is drawn from the
+frozen ``N(mu_Cpast, sigma_Cpast)`` model, the candidate-parameterised ABR
+picks bitrates, the player environment evolves by Equation 3, and the hybrid
+exit-rate predictor decides (stochastically) whether the simulated user exits
+after each segment.  The estimate is
+``R_exit = exited_count / watched_count`` over all samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.core.exit_predictor import ExitRatePredictor
+from repro.core.state import PlayerSnapshot, UserState
+from repro.core.triggers import PruningPolicy
+from repro.sim.player import PlayerEnvironment
+from repro.sim.session import ABRContext
+from repro.sim.video import Video
+
+
+@dataclass(frozen=True)
+class MonteCarloConfig:
+    """Sampling knobs of Algorithm 2."""
+
+    num_samples: int = 8
+    max_sample_duration_s: float = 60.0
+    vbr_std: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_samples < 1:
+            raise ValueError("num_samples must be at least 1")
+        if self.max_sample_duration_s <= 0:
+            raise ValueError("max_sample_duration_s must be positive")
+
+
+class MonteCarloEvaluator:
+    """EvaluateParameters via virtual playback (Algorithm 2)."""
+
+    def __init__(
+        self,
+        predictor: ExitRatePredictor,
+        config: MonteCarloConfig | None = None,
+        pruning: PruningPolicy | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.config = config or MonteCarloConfig()
+        self.pruning = pruning or PruningPolicy()
+
+    def _virtual_video(self, snapshot: PlayerSnapshot) -> Video:
+        num_segments = max(
+            2, int(np.ceil(self.config.max_sample_duration_s / snapshot.segment_duration))
+        )
+        return Video(
+            ladder=snapshot.ladder,
+            num_segments=num_segments,
+            segment_duration=snapshot.segment_duration,
+            vbr_std=self.config.vbr_std,
+            seed=self.config.seed,
+        )
+
+    def evaluate(
+        self,
+        parameters: QoEParameters,
+        abr: ABRAlgorithm,
+        snapshot: PlayerSnapshot,
+        user_state: UserState,
+        rng: np.random.Generator | None = None,
+        best_exit_rate: float = float("inf"),
+    ) -> float:
+        """Estimated exit rate ``R_exit`` for ``parameters``.
+
+        The ABR's live parameters are restored on return, so evaluation never
+        leaks candidate settings into real playback.  ``best_exit_rate`` (the
+        incumbent across candidates) enables the virtual-playback pruning rule
+        of §4.
+        """
+        rng = rng or np.random.default_rng(self.config.seed)
+        saved_parameters = abr.parameters
+        abr.set_parameters(parameters)
+        video = self._virtual_video(snapshot)
+        frozen_bandwidth = snapshot.bandwidth_model
+        exited_count = 0
+        watched_count = 0
+        try:
+            for _sample in range(self.config.num_samples):
+                abr.reset()
+                environment = PlayerEnvironment(
+                    video=video,
+                    rtt=snapshot.rtt,
+                    initial_buffer=snapshot.buffer,
+                    base_buffer_cap=snapshot.base_buffer_cap,
+                    bandwidth_model=frozen_bandwidth.copy(),
+                )
+                simulated_state = user_state.copy()
+                throughputs = list(simulated_state.throughputs_kbps)
+                last_level = snapshot.last_level
+                simulated_time = 0.0
+                while simulated_time < self.config.max_sample_duration_s:
+                    context = ABRContext(
+                        segment_index=environment.segment_index,
+                        buffer=environment.buffer,
+                        buffer_cap=environment.buffer_cap,
+                        last_level=last_level,
+                        throughput_history_kbps=tuple(throughputs[-8:]),
+                        next_segment_sizes_kbit=tuple(
+                            video.sizes_for_segment(environment.segment_index)
+                        ),
+                        ladder=snapshot.ladder,
+                        segment_duration=snapshot.segment_duration,
+                        bandwidth_mean_kbps=frozen_bandwidth.mean,
+                        bandwidth_std_kbps=frozen_bandwidth.std,
+                    )
+                    level = int(abr.select_level(context))
+                    bandwidth = float(frozen_bandwidth.sample(rng))
+                    result = environment.step(level, bandwidth)
+
+                    simulated_state.observe_segment(
+                        bitrate_kbps=result.bitrate_kbps,
+                        throughput_kbps=result.throughput_kbps,
+                        stall_time=result.stall_time,
+                        segment_duration=snapshot.segment_duration,
+                    )
+                    throughputs.append(result.throughput_kbps)
+                    stalled = result.stall_time > 1e-12
+                    switch = 0 if last_level is None else level - last_level
+                    exit_probability = self.predictor.predict(
+                        simulated_state.feature_matrix(),
+                        level=level,
+                        switch_magnitude=switch,
+                        stalled=stalled,
+                    )
+                    watched_count += 1
+                    simulated_time += snapshot.segment_duration
+                    last_level = level
+                    if rng.random() < exit_probability:
+                        exited_count += 1
+                        break
+                    if self.pruning.abort_candidate(exited_count, watched_count, best_exit_rate):
+                        return exited_count / watched_count
+        finally:
+            abr.set_parameters(saved_parameters)
+        if watched_count == 0:
+            return 1.0
+        return exited_count / watched_count

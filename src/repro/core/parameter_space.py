@@ -1,0 +1,107 @@
+"""Which objective parameters LingXi tunes for a given ABR, and over what ranges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+
+import numpy as np
+
+from repro.abr.base import QoEParameters
+
+_TUNABLE_FIELDS = ("stall_penalty", "switch_penalty", "beta")
+
+
+@dataclass(frozen=True)
+class ParameterSpace:
+    """A box domain over a subset of :class:`QoEParameters` fields.
+
+    ``names`` picks the tuned fields; anything not named keeps the value from
+    ``defaults``.  Two ready-made spaces cover the paper's experiments:
+    :meth:`for_qoe_lin` (stall 1–20, switch 0–4, the §5.2 simulation) and
+    :meth:`for_hyb` (``beta`` 0.4–1.0, the §5.3 production integration).
+    """
+
+    names: tuple[str, ...]
+    bounds: tuple[tuple[float, float], ...]
+    defaults: QoEParameters = field(default_factory=QoEParameters)
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ValueError("need at least one tuned parameter")
+        if len(self.names) != len(self.bounds):
+            raise ValueError("names and bounds must align")
+        for name in self.names:
+            if name not in _TUNABLE_FIELDS:
+                raise ValueError(f"unknown parameter {name!r}; expected one of {_TUNABLE_FIELDS}")
+        for low, high in self.bounds:
+            if high <= low:
+                raise ValueError("each bound must satisfy low < high")
+
+    @classmethod
+    def for_qoe_lin(
+        cls,
+        stall_range: tuple[float, float] = (1.0, 20.0),
+        switch_range: tuple[float, float] = (0.0, 4.0),
+        defaults: QoEParameters | None = None,
+    ) -> "ParameterSpace":
+        """Stall/switch-weight space used with RobustMPC and Pensieve (§5.2)."""
+        return cls(
+            names=("stall_penalty", "switch_penalty"),
+            bounds=(stall_range, switch_range),
+            defaults=defaults or QoEParameters(),
+        )
+
+    @classmethod
+    def for_hyb(
+        cls,
+        beta_range: tuple[float, float] = (0.4, 1.0),
+        defaults: QoEParameters | None = None,
+    ) -> "ParameterSpace":
+        """Aggressiveness (``beta``) space used with HYB (§5.3)."""
+        return cls(names=("beta",), bounds=(beta_range,), defaults=defaults or QoEParameters())
+
+    @property
+    def dimension(self) -> int:
+        """Number of tuned parameters."""
+        return len(self.names)
+
+    def bounds_array(self) -> np.ndarray:
+        """Bounds as a (d, 2) array for the optimizers."""
+        return np.asarray(self.bounds, dtype=float)
+
+    def to_parameters(self, vector: np.ndarray) -> QoEParameters:
+        """Embed an optimizer vector into a full :class:`QoEParameters`."""
+        vector = np.asarray(vector, dtype=float).ravel()
+        if vector.shape[0] != self.dimension:
+            raise ValueError("vector dimensionality mismatch")
+        changes = {}
+        for name, value, (low, high) in zip(self.names, vector, self.bounds):
+            changes[name] = float(np.clip(value, low, high))
+        return self.defaults.replace(**changes)
+
+    def to_vector(self, parameters: QoEParameters) -> np.ndarray:
+        """Extract the tuned fields of ``parameters`` as a vector."""
+        return np.asarray([getattr(parameters, name) for name in self.names], dtype=float)
+
+    def default_vector(self) -> np.ndarray:
+        """Vector form of the default parameters, clipped into the bounds."""
+        raw = self.to_vector(self.defaults)
+        lows = np.asarray([b[0] for b in self.bounds])
+        highs = np.asarray([b[1] for b in self.bounds])
+        return np.clip(raw, lows, highs)
+
+    def candidate_grid(self, points_per_dimension: int = 4) -> list[QoEParameters]:
+        """A fixed candidate set (the ``L(F)`` variant of §5.2)."""
+        if points_per_dimension < 2:
+            raise ValueError("points_per_dimension must be at least 2")
+        axes = [
+            np.linspace(low, high, points_per_dimension) for low, high in self.bounds
+        ]
+        return [self.to_parameters(np.asarray(combo)) for combo in product(*axes)]
+
+    def sample(self, rng: np.random.Generator) -> QoEParameters:
+        """Uniformly random parameters inside the box."""
+        lows = np.asarray([b[0] for b in self.bounds])
+        highs = np.asarray([b[1] for b in self.bounds])
+        return self.to_parameters(lows + rng.random(self.dimension) * (highs - lows))

@@ -1,0 +1,52 @@
+"""JSON persistence of the long-term state layer (§4, "Seamless Integration").
+
+The production system serialises long-term behaviour data to HDF5 when the
+app terminates and restores it asynchronously at the next startup; here the
+same dual-layer semantics are kept with a plain JSON file: only the long-term
+layer of the user state, the currently deployed parameters and the OBO trial
+history are persisted — short-term state is always rebuilt from scratch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.abr.base import QoEParameters
+from repro.core.controller import LingXiController
+
+
+def save_long_term_state(controller: LingXiController, path: str | Path) -> None:
+    """Serialise a controller's long-term state to ``path``."""
+    payload = {
+        "user_state": controller.user_state.long_term_dict(),
+        "best_parameters": {
+            "stall_penalty": controller.best_parameters.stall_penalty,
+            "switch_penalty": controller.best_parameters.switch_penalty,
+            "beta": controller.best_parameters.beta,
+        },
+        "obo_trials": [
+            {"x": list(trial.x), "value": trial.value} for trial in controller.obo.history
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def load_long_term_state(controller: LingXiController, path: str | Path) -> None:
+    """Restore a controller's long-term state from ``path`` (in place)."""
+    payload = json.loads(Path(path).read_text())
+    controller.user_state.restore_long_term(payload.get("user_state", {}))
+    parameters = payload.get("best_parameters")
+    if parameters:
+        controller.best_parameters = QoEParameters(
+            stall_penalty=float(parameters["stall_penalty"]),
+            switch_penalty=float(parameters["switch_penalty"]),
+            beta=float(parameters["beta"]),
+        )
+    trials = payload.get("obo_trials", [])
+    if trials:
+        controller.obo.start_round()
+        for trial in trials:
+            controller.obo.update(np.asarray(trial["x"], dtype=float), float(trial["value"]))

@@ -1,0 +1,209 @@
+"""Dual-layer user state and the player snapshot used for virtual playback.
+
+LingXi tracks "comprehensive state, including historical stall, user
+engagement, buffer occupancy, and bitrate" (§1) and manages it in two layers
+(§4): short-term state is re-initialised at every session start, long-term
+state (engagement history) persists across sessions and is serialised when
+the app terminates.  :class:`UserState` implements both layers and produces
+exactly the 5×8 feature matrix the exit-rate predictor was trained on
+(:mod:`repro.datasets.stall_dataset`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.datasets.stall_dataset import (
+    WINDOW_LENGTH,
+    _BITRATE_SCALE,
+    _LONG_TERM_SCALE,
+    _RECENCY_SCALE,
+    _STALL_CUMULATIVE_SCALE,
+    _THROUGHPUT_SCALE,
+    estimate_tolerance,
+)
+from repro.sim.bandwidth import BandwidthModel
+from repro.sim.video import BitrateLadder
+
+
+@dataclass
+class UserState:
+    """Short-term playback window plus long-term engagement counters."""
+
+    # Short-term (reset every session)
+    bitrates_kbps: list[float] = field(default_factory=list)
+    throughputs_kbps: list[float] = field(default_factory=list)
+    stall_times: list[float] = field(default_factory=list)
+    cumulative_stall_history: list[float] = field(default_factory=list)
+    segments_since_stall_history: list[float] = field(default_factory=list)
+    session_stall_count: int = 0
+    session_stall_time: float = 0.0
+    session_watch_time: float = 0.0
+
+    # Long-term (persists across sessions)
+    segments_since_stall_exit: float = _LONG_TERM_SCALE
+    lifetime_stall_events: int = 0
+    lifetime_stall_exits: int = 0
+    lifetime_segments: int = 0
+    stall_exit_time_sum: float = 0.0
+    max_survived_stall_time: float = 0.0
+
+    def start_session(self) -> None:
+        """Reset the short-term layer (long-term counters are kept)."""
+        self.bitrates_kbps = []
+        self.throughputs_kbps = []
+        self.stall_times = []
+        self.cumulative_stall_history = []
+        self.segments_since_stall_history = []
+        self.session_stall_count = 0
+        self.session_stall_time = 0.0
+        self.session_watch_time = 0.0
+
+    def observe_segment(
+        self,
+        bitrate_kbps: float,
+        throughput_kbps: float,
+        stall_time: float,
+        segment_duration: float,
+        exited: bool = False,
+    ) -> None:
+        """Fold one played segment into both state layers."""
+        if bitrate_kbps <= 0 or throughput_kbps <= 0:
+            raise ValueError("bitrate and throughput must be positive")
+        if stall_time < 0 or segment_duration <= 0:
+            raise ValueError("invalid stall_time or segment_duration")
+        self.bitrates_kbps.append(float(bitrate_kbps))
+        self.throughputs_kbps.append(float(throughput_kbps))
+        self.stall_times.append(float(stall_time))
+        stalled = stall_time > 0
+        if stalled:
+            self.session_stall_count += 1
+            self.session_stall_time += stall_time
+            self.lifetime_stall_events += 1
+            since_stall = 0.0
+        else:
+            previous = (
+                self.segments_since_stall_history[-1]
+                if self.segments_since_stall_history
+                else float(WINDOW_LENGTH)
+            )
+            since_stall = previous + 1.0
+        self.cumulative_stall_history.append(self.session_stall_time)
+        self.segments_since_stall_history.append(since_stall)
+        self.session_watch_time += segment_duration
+        self.lifetime_segments += 1
+        self.segments_since_stall_exit += 1.0
+        if exited and stalled:
+            self.lifetime_stall_exits += 1
+            self.segments_since_stall_exit = 0.0
+            self.stall_exit_time_sum += self.session_stall_time
+        elif not exited:
+            self.max_survived_stall_time = max(
+                self.max_survived_stall_time, self.session_stall_time
+            )
+
+    @property
+    def stall_exit_propensity(self) -> float:
+        """Lifetime fraction of stall events followed by an exit."""
+        if self.lifetime_stall_events == 0:
+            return 0.0
+        return self.lifetime_stall_exits / self.lifetime_stall_events
+
+    @property
+    def tolerance_estimate_s(self) -> float:
+        """Personal stall-tolerance estimate (seconds) from engagement history."""
+        return estimate_tolerance(
+            self.stall_exit_time_sum,
+            self.lifetime_stall_exits,
+            self.max_survived_stall_time,
+        )
+
+    def feature_matrix(self) -> np.ndarray:
+        """The 5×8 predictor input for the *current* decision point."""
+
+        def window(values: list[float], scale: float) -> np.ndarray:
+            out = np.zeros(WINDOW_LENGTH)
+            recent = values[-WINDOW_LENGTH:]
+            if recent:
+                out[-len(recent) :] = np.asarray(recent) / scale
+            return out
+
+        return np.vstack(
+            [
+                window(self.bitrates_kbps, _BITRATE_SCALE),
+                window(self.throughputs_kbps, _THROUGHPUT_SCALE),
+                window(self.cumulative_stall_history, _STALL_CUMULATIVE_SCALE),
+                window(self.segments_since_stall_history, _RECENCY_SCALE),
+                np.full(
+                    WINDOW_LENGTH, self.tolerance_estimate_s / _STALL_CUMULATIVE_SCALE
+                ),
+            ]
+        )
+
+    def copy(self) -> "UserState":
+        """Independent copy used to seed virtual (Monte-Carlo) playback."""
+        clone = UserState(
+            bitrates_kbps=list(self.bitrates_kbps),
+            throughputs_kbps=list(self.throughputs_kbps),
+            stall_times=list(self.stall_times),
+            cumulative_stall_history=list(self.cumulative_stall_history),
+            segments_since_stall_history=list(self.segments_since_stall_history),
+            session_stall_count=self.session_stall_count,
+            session_stall_time=self.session_stall_time,
+            session_watch_time=self.session_watch_time,
+            segments_since_stall_exit=self.segments_since_stall_exit,
+            lifetime_stall_events=self.lifetime_stall_events,
+            lifetime_stall_exits=self.lifetime_stall_exits,
+            lifetime_segments=self.lifetime_segments,
+            stall_exit_time_sum=self.stall_exit_time_sum,
+            max_survived_stall_time=self.max_survived_stall_time,
+        )
+        return clone
+
+    def long_term_dict(self) -> dict[str, float]:
+        """Long-term layer as a plain dict (for persistence)."""
+        return {
+            "segments_since_stall_exit": float(self.segments_since_stall_exit),
+            "lifetime_stall_events": int(self.lifetime_stall_events),
+            "lifetime_stall_exits": int(self.lifetime_stall_exits),
+            "lifetime_segments": int(self.lifetime_segments),
+            "stall_exit_time_sum": float(self.stall_exit_time_sum),
+            "max_survived_stall_time": float(self.max_survived_stall_time),
+        }
+
+    def restore_long_term(self, payload: dict[str, float]) -> None:
+        """Restore the long-term layer from :meth:`long_term_dict` output."""
+        self.segments_since_stall_exit = float(
+            payload.get("segments_since_stall_exit", _LONG_TERM_SCALE)
+        )
+        self.lifetime_stall_events = int(payload.get("lifetime_stall_events", 0))
+        self.lifetime_stall_exits = int(payload.get("lifetime_stall_exits", 0))
+        self.lifetime_segments = int(payload.get("lifetime_segments", 0))
+        self.stall_exit_time_sum = float(payload.get("stall_exit_time_sum", 0.0))
+        self.max_survived_stall_time = float(payload.get("max_survived_stall_time", 0.0))
+
+
+@dataclass
+class PlayerSnapshot:
+    """Everything virtual playback needs to start from the live player's state."""
+
+    ladder: BitrateLadder
+    segment_duration: float
+    buffer: float
+    last_level: int | None
+    bandwidth_model: BandwidthModel
+    rtt: float = 0.08
+    base_buffer_cap: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.segment_duration <= 0:
+            raise ValueError("segment_duration must be positive")
+        if self.buffer < 0:
+            raise ValueError("buffer must be non-negative")
+
+    @property
+    def max_bitrate_kbps(self) -> float:
+        """Top rung of the ladder (used by the pre-playback pruning rule)."""
+        return self.ladder.max_bitrate

@@ -1,0 +1,104 @@
+"""Overall-statistics (OS) exit-rate model for quality and smoothness.
+
+Takeaway 1: quality and smoothness influence exit rates at the 1e-3 and 1e-2
+orders of magnitude — too small to model per user without being drowned by
+content-driven noise, so LingXi models them with population-level statistics
+(Equation 4's ``OS(Quality, Smoothness)`` term).  The model is two lookup
+tables — baseline exit rate per quality level and an additive offset per
+switch granularity — fitted from a production-log corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analytics.logs import LogCollection
+
+#: Fallback per-level baseline exit rates (LD → FullHD), ~1e-3 spread.
+_DEFAULT_LEVEL_RATES: tuple[float, ...] = (0.046, 0.044, 0.041, 0.040)
+#: Fallback additive offsets per |switch granularity| (index 0 = no switch).
+_DEFAULT_SWITCH_OFFSETS: tuple[float, ...] = (0.0, 0.009, 0.012, 0.015)
+#: Extra offset for downward switches.
+_DEFAULT_DOWNWARD_EXTRA: float = 0.004
+
+
+@dataclass
+class OverallStatisticsModel:
+    """Population-level exit-rate baseline indexed by quality and switch."""
+
+    level_rates: np.ndarray = field(
+        default_factory=lambda: np.asarray(_DEFAULT_LEVEL_RATES)
+    )
+    switch_offsets: np.ndarray = field(
+        default_factory=lambda: np.asarray(_DEFAULT_SWITCH_OFFSETS)
+    )
+    downward_extra: float = _DEFAULT_DOWNWARD_EXTRA
+
+    def __post_init__(self) -> None:
+        self.level_rates = np.asarray(self.level_rates, dtype=float)
+        self.switch_offsets = np.asarray(self.switch_offsets, dtype=float)
+        if self.level_rates.ndim != 1 or self.level_rates.size == 0:
+            raise ValueError("level_rates must be a non-empty vector")
+        if self.switch_offsets.ndim != 1 or self.switch_offsets.size == 0:
+            raise ValueError("switch_offsets must be a non-empty vector")
+        if np.any(self.level_rates < 0) or np.any(self.level_rates > 1):
+            raise ValueError("level_rates must be probabilities")
+
+    @classmethod
+    def fit(cls, logs: LogCollection, num_levels: int) -> "OverallStatisticsModel":
+        """Fit the lookup tables from a log corpus.
+
+        Only non-stalled segments contribute, so the tables capture the
+        quality/smoothness baseline rather than stall effects (those belong to
+        the personalised neural model).
+        """
+        level_rates = np.zeros(num_levels)
+        for level in range(num_levels):
+            rate = logs.segment_exit_rate(
+                lambda r, lvl=level: r.level == lvl and r.stall_time <= 0
+            )
+            level_rates[level] = rate if np.isfinite(rate) else np.nan
+        # Fill gaps with the overall non-stall rate.
+        overall = logs.segment_exit_rate(lambda r: r.stall_time <= 0)
+        if not np.isfinite(overall):
+            overall = float(np.nanmean(_DEFAULT_LEVEL_RATES))
+        level_rates = np.where(np.isfinite(level_rates), level_rates, overall)
+
+        max_granularity = num_levels - 1
+        by_switch = logs.exit_rate_by_switch(range(-max_granularity, max_granularity + 1))
+        no_switch = by_switch.get(0, overall)
+        if not np.isfinite(no_switch):
+            no_switch = overall
+        switch_offsets = np.zeros(max_granularity + 1)
+        downward_deltas = []
+        for granularity in range(1, max_granularity + 1):
+            up = by_switch.get(granularity, np.nan)
+            down = by_switch.get(-granularity, np.nan)
+            offsets = [v - no_switch for v in (up, down) if np.isfinite(v)]
+            switch_offsets[granularity] = float(np.mean(offsets)) if offsets else 0.0
+            if np.isfinite(up) and np.isfinite(down):
+                downward_deltas.append(max(down - up, 0.0))
+        downward_extra = float(np.mean(downward_deltas)) if downward_deltas else 0.0
+        return cls(
+            level_rates=np.clip(level_rates, 0.0, 1.0),
+            switch_offsets=np.clip(switch_offsets, 0.0, 1.0),
+            downward_extra=max(downward_extra, 0.0),
+        )
+
+    def predict(self, level: int, switch_magnitude: int = 0) -> float:
+        """Baseline exit probability for a segment at ``level`` after a switch."""
+        if level < 0:
+            raise ValueError("level must be non-negative")
+        level_rate = self.level_rates[min(level, self.level_rates.size - 1)]
+        magnitude = min(abs(int(switch_magnitude)), self.switch_offsets.size - 1)
+        offset = self.switch_offsets[magnitude]
+        if switch_magnitude < 0:
+            offset += self.downward_extra
+        return float(np.clip(level_rate + offset, 0.0, 1.0))
+
+    @property
+    def num_levels(self) -> int:
+        """Number of quality levels the model covers."""
+        return int(self.level_rates.size)

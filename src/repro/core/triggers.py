@@ -1,0 +1,67 @@
+"""Activation trigger and pruning rules (§4).
+
+* **Trigger**: personalised optimization only activates after the user has
+  accumulated more than ``threshold`` stall events (the paper picks 2 as the
+  compromise between model recall and temporal responsiveness, Figure 8b).
+* **Pre-playback pruning**: when the bandwidth distribution comfortably
+  exceeds the top encoding bitrate (``mu - 3 sigma > Q_max``) stalls are so
+  unlikely that the whole evaluation is skipped.
+* **Virtual-playback pruning**: while evaluating one candidate, abort as soon
+  as its running exit-rate estimate can no longer beat the best candidate seen
+  so far.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.bandwidth import BandwidthModel
+
+
+@dataclass(frozen=True)
+class TriggerPolicy:
+    """Stall-count activation threshold (Algorithm 1's ``eta``)."""
+
+    stall_count_threshold: int = 2
+
+    def __post_init__(self) -> None:
+        if self.stall_count_threshold < 1:
+            raise ValueError("stall_count_threshold must be at least 1")
+
+    def should_trigger(self, stall_count_since_last_optimization: int) -> bool:
+        """True when enough stall evidence has accumulated to re-optimise."""
+        return stall_count_since_last_optimization > self.stall_count_threshold
+
+
+@dataclass(frozen=True)
+class PruningPolicy:
+    """Pre-playback and virtual-playback pruning rules."""
+
+    bandwidth_sigma_margin: float = 3.0
+    min_virtual_segments: int = 16
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_sigma_margin < 0:
+            raise ValueError("bandwidth_sigma_margin must be non-negative")
+        if self.min_virtual_segments < 1:
+            raise ValueError("min_virtual_segments must be at least 1")
+
+    def skip_optimization(self, bandwidth: BandwidthModel, max_bitrate_kbps: float) -> bool:
+        """Pre-playback rule: ``mu - k*sigma > Q_max`` means stalls are negligible."""
+        return bandwidth.mean - self.bandwidth_sigma_margin * bandwidth.std > max_bitrate_kbps
+
+    def abort_candidate(
+        self, exited: int, watched: int, best_exit_rate: float
+    ) -> bool:
+        """Virtual-playback rule: the candidate can no longer beat the incumbent.
+
+        Once enough virtual segments have been watched, if even the optimistic
+        completion of the remaining samples (no further exits) cannot bring the
+        running exit rate below ``best_exit_rate``, evaluation is aborted.
+        """
+        if watched < self.min_virtual_segments:
+            return False
+        if best_exit_rate == float("inf"):
+            return False
+        running = exited / max(watched, 1)
+        return running > best_exit_rate * 1.5

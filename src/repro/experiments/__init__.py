@@ -1,0 +1,29 @@
+"""Per-figure reproduction drivers.
+
+Every module reproduces one figure of the paper's analysis or evaluation and
+exposes a ``run(...)`` function with laptop-scale defaults that returns a
+plain-data result object; ``benchmarks/`` wraps each one in a
+pytest-benchmark target that prints the same rows/series the paper reports.
+
+Index (see DESIGN.md for the full experiment table):
+
+========  =======================================================
+Figure 1  ``fig01_qos_saturation``   — QoS metrics meet their limits
+Figure 2  ``fig02_opportunities``    — bandwidth / stall-count CDFs
+Figure 3  ``fig03_watchtime_qos``    — watch time vs QoS
+Figure 4  ``fig04_exit_rate_qos``    — exit rate vs QoS (magnitudes)
+Figure 5  ``fig05_personalized_stall`` — per-user stall perception
+Figure 8  ``fig08_trigger_tradeoff`` — stall counts vs model recall
+Figure 9  ``fig09_predictor``        — predictor across dataset compositions
+Figure 10 ``fig10_simulation``       — pre-deployment simulation study
+Figure 11 ``fig11_heatmap``          — chosen stall parameter heatmap
+Figure 12 ``fig12_ab_test``          — 10-day difference-in-differences A/B
+Figure 13 ``fig13_bandwidth_bins``   — per-bandwidth-bin parameters / stalls
+Figure 14 ``fig14_exit_rate_vs_param`` — stall exit rate vs parameter
+Figure 15 ``fig15_user_trajectories`` — per-user parameter trajectories
+========  =======================================================
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

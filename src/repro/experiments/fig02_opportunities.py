@@ -1,0 +1,57 @@
+"""Figure 2 — optimization opportunities in the production system.
+
+(a) CDF of per-user bandwidth against the maximum encoding bitrate: only a
+small minority of users (the long tail) sit below the top rung.
+(b) CDF of per-user daily stall counts: the vast majority of users see at most
+a couple of stalls per day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    Substrate,
+    SubstrateConfig,
+    build_substrate,
+    empirical_cdf,
+)
+
+
+@dataclass
+class Fig02Result:
+    """Bandwidth CDF, stall-count CDF and headline fractions."""
+
+    bandwidth_mbps_sorted: np.ndarray
+    bandwidth_cdf: np.ndarray
+    max_bitrate_mbps: float
+    fraction_below_max_bitrate: float
+    stall_counts_sorted: np.ndarray
+    stall_count_cdf: np.ndarray
+    fraction_stall_free: float
+    fraction_at_most_two_stalls: float
+
+
+def run(substrate: Substrate | None = None) -> Fig02Result:
+    """Compute both CDFs from the shared synthetic substrate."""
+    substrate = substrate or build_substrate(SubstrateConfig())
+    bandwidths_mbps = substrate.population.mean_bandwidths() / 1000.0
+    max_bitrate_mbps = substrate.library.ladder.max_bitrate / 1000.0
+    bw_sorted, bw_cdf = empirical_cdf(bandwidths_mbps)
+
+    per_user_day = substrate.logs.daily_stall_counts()
+    counts = np.asarray(list(per_user_day.values()), dtype=float)
+    counts_sorted, counts_cdf = empirical_cdf(counts)
+
+    return Fig02Result(
+        bandwidth_mbps_sorted=bw_sorted,
+        bandwidth_cdf=bw_cdf,
+        max_bitrate_mbps=max_bitrate_mbps,
+        fraction_below_max_bitrate=float(np.mean(bandwidths_mbps < max_bitrate_mbps)),
+        stall_counts_sorted=counts_sorted,
+        stall_count_cdf=counts_cdf,
+        fraction_stall_free=float(np.mean(counts == 0)),
+        fraction_at_most_two_stalls=float(np.mean(counts <= 2)),
+    )

@@ -1,0 +1,51 @@
+"""Figure 3 — the impact of QoS metrics on watch time.
+
+Watch time is a long-horizon metric, so per-session aggregation against QoS
+is noisy; the paper uses this figure to motivate the switch to segment-level
+exit rates.  We reproduce the two panels: mean (normalized) watch time by the
+session's dominant quality tier, and by the session's total stall time bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import Substrate, SubstrateConfig, build_substrate
+
+#: Stall-time bin left edges (seconds) for panel (b).
+STALL_TIME_BINS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+
+@dataclass
+class Fig03Result:
+    """Normalized watch time by quality tier and by stall-time bin."""
+
+    tier_names: list[str]
+    watch_time_by_tier: np.ndarray
+    stall_bins_s: list[float]
+    watch_time_by_stall: np.ndarray
+
+
+def run(substrate: Substrate | None = None) -> Fig03Result:
+    """Aggregate watch time against quality tier and stall time."""
+    substrate = substrate or build_substrate(SubstrateConfig())
+    logs = substrate.logs
+    ladder = substrate.library.ladder
+
+    by_tier = logs.watch_time_by_level(ladder.num_levels)
+    by_stall = logs.watch_time_by_stall_time(STALL_TIME_BINS)
+
+    def normalize(values: np.ndarray) -> np.ndarray:
+        peak = np.nanmax(values)
+        if not np.isfinite(peak) or peak == 0:
+            return values
+        return values / peak
+
+    return Fig03Result(
+        tier_names=[ladder.tier_name(i) for i in range(ladder.num_levels)],
+        watch_time_by_tier=normalize(by_tier),
+        stall_bins_s=list(STALL_TIME_BINS),
+        watch_time_by_stall=normalize(by_stall),
+    )

@@ -1,0 +1,91 @@
+"""Figure 5 — personalized perception of stall time.
+
+(a) CDF of per-user average tolerable stall time, plus the distribution of
+its day-to-day change.  (b) Example per-user exit-rate-vs-stall-time response
+curves illustrating the sensitive / sensitive-to-threshold / insensitive
+archetypes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import (
+    Substrate,
+    SubstrateConfig,
+    build_substrate,
+    empirical_cdf,
+)
+from repro.users.perception import SensitivityArchetype
+
+
+@dataclass
+class Fig05Result:
+    """Tolerance CDFs and example per-archetype response curves."""
+
+    tolerance_sorted_s: np.ndarray
+    tolerance_cdf: np.ndarray
+    day_difference_sorted_s: np.ndarray
+    day_difference_cdf: np.ndarray
+    stall_grid_s: np.ndarray
+    example_curves: dict[str, np.ndarray]
+
+    @property
+    def fraction_low_tolerance(self) -> float:
+        """Fraction of users with tolerance below 1 second."""
+        return float(np.mean(self.tolerance_sorted_s < 1.0))
+
+    @property
+    def fraction_above_5s(self) -> float:
+        """Fraction of users tolerating more than 5 seconds."""
+        return float(np.mean(self.tolerance_sorted_s > 5.0))
+
+
+def run(substrate: Substrate | None = None, stall_grid_max_s: float = 8.0) -> Fig05Result:
+    """Compute tolerance distributions and example response curves."""
+    substrate = substrate or build_substrate(SubstrateConfig())
+    logs = substrate.logs
+    days = logs.days()
+
+    tolerances = logs.tolerable_stall_times()
+    tolerance_values = np.asarray(list(tolerances.values()), dtype=float)
+    if tolerance_values.size == 0:
+        tolerance_values = np.asarray([0.0])
+    tol_sorted, tol_cdf = empirical_cdf(tolerance_values)
+
+    # Day-to-day difference of the per-user tolerance between the first two days.
+    differences: list[float] = []
+    if len(days) >= 2:
+        first = logs.filter(lambda s: s.day == days[0]).tolerable_stall_times()
+        second = logs.filter(lambda s: s.day == days[1]).tolerable_stall_times()
+        for user, value in first.items():
+            if user in second:
+                differences.append(abs(second[user] - value))
+    if not differences:
+        differences = [0.0]
+    diff_sorted, diff_cdf = empirical_cdf(np.asarray(differences))
+
+    # Example response curves straight from the population's perception profiles.
+    grid = np.linspace(0.0, stall_grid_max_s, 33)
+    examples: dict[str, np.ndarray] = {}
+    for archetype in SensitivityArchetype:
+        profile = next(
+            (p.sensitivity for p in substrate.population if p.sensitivity.archetype is archetype),
+            None,
+        )
+        if profile is None:
+            continue
+        examples[archetype.value] = np.asarray(
+            [profile.stall_exit_probability(s) if s > 0 else 0.0 for s in grid]
+        )
+
+    return Fig05Result(
+        tolerance_sorted_s=tol_sorted,
+        tolerance_cdf=tol_cdf,
+        day_difference_sorted_s=diff_sorted,
+        day_difference_cdf=diff_cdf,
+        stall_grid_s=grid,
+        example_curves=examples,
+    )

@@ -1,0 +1,98 @@
+"""Figure 9 — exit-rate predictor under different settings.
+
+(a) Accuracy / precision / recall / F1 of predictors trained on the ALL,
+event-only and stall-only dataset compositions (multiple seeds, standard
+errors): restricting the training data to stall events removes most
+QoS-unrelated exits and yields by far the best predictor.
+(b) Balanced versus unbalanced sampling on the stall dataset: dropping the
+class balancing costs recall (exits misclassified as continues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.exit_predictor import train_and_evaluate
+from repro.datasets import DatasetComposition, build_exit_dataset
+from repro.experiments.common import Substrate, SubstrateConfig, build_substrate
+
+_METRICS = ("accuracy", "precision", "recall", "f1")
+
+
+@dataclass
+class MetricSummary:
+    """Mean and standard error of the four headline metrics across seeds."""
+
+    mean: dict[str, float] = field(default_factory=dict)
+    stderr: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_runs(cls, runs: list[dict[str, float]]) -> "MetricSummary":
+        """Summarise a list of per-seed metric dicts."""
+        summary = cls()
+        for metric in _METRICS:
+            values = np.asarray([run[metric] for run in runs], dtype=float)
+            summary.mean[metric] = float(values.mean())
+            summary.stderr[metric] = float(
+                values.std(ddof=1) / np.sqrt(values.size) if values.size > 1 else 0.0
+            )
+        return summary
+
+
+@dataclass
+class Fig09Result:
+    """Per-composition summaries plus the sampling ablation."""
+
+    by_composition: dict[str, MetricSummary]
+    stall_balanced: MetricSummary
+    stall_unbalanced: MetricSummary
+
+    @property
+    def recall_drop_without_balancing(self) -> float:
+        """Recall lost when the balanced sampling step is removed."""
+        return self.stall_balanced.mean["recall"] - self.stall_unbalanced.mean["recall"]
+
+
+def run(
+    substrate: Substrate | None = None,
+    seeds: tuple[int, ...] = (0, 1, 2),
+    epochs: int = 12,
+) -> Fig09Result:
+    """Train and evaluate predictors across dataset compositions and sampling."""
+    substrate = substrate or build_substrate(SubstrateConfig())
+    logs = substrate.training_logs
+
+    by_composition: dict[str, MetricSummary] = {}
+    for composition in (DatasetComposition.ALL, DatasetComposition.EVENT, DatasetComposition.STALL):
+        dataset = build_exit_dataset(logs, composition)
+        runs = []
+        for seed in seeds:
+            _predictor, evaluation = train_and_evaluate(
+                dataset,
+                balanced=True,
+                epochs=epochs,
+                seed=seed,
+                statistics_model=substrate.statistics_model,
+            )
+            runs.append(evaluation.as_dict())
+        by_composition[composition.value] = MetricSummary.from_runs(runs)
+
+    stall_dataset = build_exit_dataset(logs, DatasetComposition.STALL)
+    unbalanced_runs = []
+    for seed in seeds:
+        _predictor, evaluation = train_and_evaluate(
+            stall_dataset,
+            balanced=False,
+            epochs=epochs,
+            seed=seed,
+            statistics_model=substrate.statistics_model,
+        )
+        unbalanced_runs.append(evaluation.as_dict())
+
+    return Fig09Result(
+        by_composition=by_composition,
+        stall_balanced=by_composition[DatasetComposition.STALL.value],
+        stall_unbalanced=MetricSummary.from_runs(unbalanced_runs),
+    )

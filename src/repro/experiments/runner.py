@@ -1,0 +1,75 @@
+"""Run every experiment with laptop-scale defaults and print a summary.
+
+``python -m repro.experiments.runner`` regenerates the headline numbers of
+every figure (EXPERIMENTS.md records a reference run).  Individual figures
+can be run by importing their module and calling ``run()`` directly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.experiments import (
+    fig01_qos_saturation,
+    fig02_opportunities,
+    fig03_watchtime_qos,
+    fig04_exit_rate_qos,
+    fig05_personalized_stall,
+    fig08_trigger_tradeoff,
+    fig09_predictor,
+    fig10_simulation,
+    fig11_heatmap,
+    fig12_ab_test,
+    fig13_bandwidth_bins,
+    fig14_exit_rate_vs_param,
+    fig15_user_trajectories,
+)
+from repro.experiments.common import SubstrateConfig, build_substrate
+
+
+def run_all(substrate_config: SubstrateConfig | None = None, verbose: bool = True) -> dict[str, object]:
+    """Run every figure driver once; returns a mapping figure-id -> result."""
+    substrate = build_substrate(substrate_config or SubstrateConfig())
+    results: dict[str, object] = {}
+
+    def step(name: str, fn) -> None:
+        start = time.time()
+        results[name] = fn()
+        if verbose:
+            print(f"{name}: done in {time.time() - start:.1f}s")
+
+    step("fig01", lambda: fig01_qos_saturation.run(substrate=substrate))
+    step("fig02", lambda: fig02_opportunities.run(substrate=substrate))
+    step("fig03", lambda: fig03_watchtime_qos.run(substrate=substrate))
+    step("fig04", lambda: fig04_exit_rate_qos.run(substrate=substrate))
+    step("fig05", lambda: fig05_personalized_stall.run(substrate=substrate))
+    step("fig08", lambda: fig08_trigger_tradeoff.run(substrate=substrate))
+    step("fig09", lambda: fig09_predictor.run(substrate=substrate))
+    step("fig10_mpc_rule", lambda: fig10_simulation.run("robust_mpc", "rule", substrate=substrate))
+    step("fig11", lambda: fig11_heatmap.run(substrate=substrate))
+    ab_result = fig12_ab_test.run(substrate=substrate)
+    results["fig12"] = ab_result
+    step("fig13", lambda: fig13_bandwidth_bins.run(substrate=substrate, ab_result=ab_result))
+    step("fig14", lambda: fig14_exit_rate_vs_param.run(substrate=substrate, ab_result=ab_result))
+    step("fig15", lambda: fig15_user_trajectories.run(substrate=substrate, ab_result=ab_result))
+
+    if verbose:
+        fig04 = results["fig04"]
+        print(
+            "influence magnitudes:",
+            f"quality={fig04.quality_magnitude:.4f}",
+            f"smoothness={fig04.smoothness_magnitude:.4f}",
+            f"stall={fig04.stall_magnitude:.4f}",
+        )
+        fig12 = results["fig12"]
+        print(fig12.watch_time.summary())
+        print(fig12.bitrate.summary())
+        print(fig12.stall_time.summary())
+    return results
+
+
+if __name__ == "__main__":
+    np.set_printoptions(precision=4, suppress=True)
+    run_all()

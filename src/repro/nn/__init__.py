@@ -1,0 +1,52 @@
+"""Minimal neural-network framework (pure numpy).
+
+The exit-rate predictor (§3.3) and the Pensieve baseline both need small
+neural networks; since the reproduction is restricted to numpy/scipy, this
+package implements the required pieces from scratch:
+
+* :mod:`repro.nn.layers` — Dense, Conv1D, ReLU, Flatten, Concatenate.
+* :mod:`repro.nn.losses` — softmax cross-entropy and mean squared error.
+* :mod:`repro.nn.optimizers` — SGD (with momentum) and Adam.
+* :mod:`repro.nn.network` — ``Sequential`` container and a branched
+  ``MultiBranchNetwork`` (one Conv1D branch per input feature, merged into a
+  fully-connected head — the architecture of Figure 7).
+* :mod:`repro.nn.metrics` — accuracy / precision / recall / F1.
+* :mod:`repro.nn.sampling` — stratified split and balanced undersampling
+  (the class-balancing step of §3.3).
+"""
+
+from repro.nn.layers import Dense, Conv1D, ReLU, Flatten, Layer
+from repro.nn.losses import SoftmaxCrossEntropy, MeanSquaredError
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.network import Sequential, MultiBranchNetwork
+from repro.nn.metrics import (
+    accuracy_score,
+    precision_score,
+    recall_score,
+    f1_score,
+    confusion_matrix,
+    classification_report,
+)
+from repro.nn.sampling import balanced_undersample, stratified_split
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv1D",
+    "ReLU",
+    "Flatten",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "MultiBranchNetwork",
+    "accuracy_score",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "confusion_matrix",
+    "classification_report",
+    "balanced_undersample",
+    "stratified_split",
+]

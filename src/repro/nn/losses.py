@@ -1,0 +1,80 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-shift for numerical stability."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Softmax activation fused with cross-entropy loss (Equation 5).
+
+    ``forward`` takes raw logits of shape (batch, classes) and integer labels
+    (or one-hot rows); ``backward`` returns the gradient with respect to the
+    logits, already averaged over the batch.
+    """
+
+    def __init__(self) -> None:
+        self._probabilities: np.ndarray | None = None
+        self._labels: np.ndarray | None = None
+
+    @staticmethod
+    def _to_one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+        if labels.ndim == 2:
+            return labels.astype(float)
+        one_hot = np.zeros((labels.shape[0], num_classes))
+        one_hot[np.arange(labels.shape[0]), labels.astype(int)] = 1.0
+        return one_hot
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of the batch."""
+        probabilities = softmax(logits)
+        one_hot = self._to_one_hot(np.asarray(labels), logits.shape[1])
+        if one_hot.shape != logits.shape:
+            raise ValueError("labels do not match logits shape")
+        self._probabilities = probabilities
+        self._labels = one_hot
+        eps = 1e-12
+        return float(-np.mean(np.sum(one_hot * np.log(probabilities + eps), axis=1)))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._probabilities is None or self._labels is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probabilities.shape[0]
+        return (self._probabilities - self._labels) / batch
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Softmax probabilities from the last forward pass."""
+        if self._probabilities is None:
+            raise RuntimeError("no forward pass yet")
+        return self._probabilities
+
+
+class MeanSquaredError:
+    """Plain mean squared error (used by the Pensieve critic)."""
+
+    def __init__(self) -> None:
+        self._difference: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        """Mean squared error of the batch."""
+        predictions = np.asarray(predictions, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        if predictions.shape != targets.shape:
+            raise ValueError("predictions and targets must have the same shape")
+        self._difference = predictions - targets
+        return float(np.mean(self._difference**2))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the predictions."""
+        if self._difference is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._difference / self._difference.size

@@ -1,0 +1,74 @@
+"""Binary / multi-class classification metrics.
+
+The paper evaluates the exit-rate predictor with accuracy, precision, recall
+and F1 (Figures 8b and 9).  The positive class for the exit predictor is
+"exit" (label 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(int).ravel()
+    y_pred = np.asarray(y_pred).astype(int).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same length")
+    if y_true.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return y_true, y_pred
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, num_classes: int = 2) -> np.ndarray:
+    """Confusion matrix ``M[i, j]`` = count of true class ``i`` predicted ``j``."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[t, p] += 1
+    return matrix
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Precision of the positive class (0 when nothing is predicted positive)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    predicted_positive = np.sum(y_pred == positive)
+    if predicted_positive == 0:
+        return 0.0
+    true_positive = np.sum((y_pred == positive) & (y_true == positive))
+    return float(true_positive / predicted_positive)
+
+
+def recall_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Recall of the positive class (0 when there are no positives)."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    actual_positive = np.sum(y_true == positive)
+    if actual_positive == 0:
+        return 0.0
+    true_positive = np.sum((y_pred == positive) & (y_true == positive))
+    return float(true_positive / actual_positive)
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Harmonic mean of precision and recall."""
+    precision = precision_score(y_true, y_pred, positive)
+    recall = recall_score(y_true, y_pred, positive)
+    if precision + recall == 0:
+        return 0.0
+    return float(2 * precision * recall / (precision + recall))
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> dict[str, float]:
+    """All four headline metrics in one dict."""
+    return {
+        "accuracy": accuracy_score(y_true, y_pred),
+        "precision": precision_score(y_true, y_pred),
+        "recall": recall_score(y_true, y_pred),
+        "f1": f1_score(y_true, y_pred),
+    }

@@ -1,0 +1,63 @@
+"""Dataset splitting and class balancing.
+
+§3.3: "binary classification of the training set based on user engagement,
+followed by random undersampling of the majority class (continued watch) to
+achieve parity with the minority class (exits)".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def stratified_split(
+    x: np.ndarray,
+    labels: np.ndarray,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split into train/test keeping the class ratio in both parts.
+
+    Returns ``(x_train, y_train, x_test, y_test)``.
+    """
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    labels = np.asarray(labels).astype(int).ravel()
+    if x.shape[0] != labels.shape[0]:
+        raise ValueError("x and labels must have the same number of rows")
+    rng = np.random.default_rng(seed)
+    train_idx: list[int] = []
+    test_idx: list[int] = []
+    for cls in np.unique(labels):
+        cls_indices = np.flatnonzero(labels == cls)
+        rng.shuffle(cls_indices)
+        cut = int(round(len(cls_indices) * test_fraction))
+        test_idx.extend(cls_indices[:cut].tolist())
+        train_idx.extend(cls_indices[cut:].tolist())
+    train = np.asarray(train_idx, dtype=int)
+    test = np.asarray(test_idx, dtype=int)
+    rng.shuffle(train)
+    rng.shuffle(test)
+    return x[train], labels[train], x[test], labels[test]
+
+
+def balanced_undersample(
+    x: np.ndarray, labels: np.ndarray, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Randomly undersample the majority class to match the minority class."""
+    labels = np.asarray(labels).astype(int).ravel()
+    if x.shape[0] != labels.shape[0]:
+        raise ValueError("x and labels must have the same number of rows")
+    classes, counts = np.unique(labels, return_counts=True)
+    if classes.size < 2:
+        return x, labels
+    rng = np.random.default_rng(seed)
+    target = counts.min()
+    keep: list[int] = []
+    for cls in classes:
+        cls_indices = np.flatnonzero(labels == cls)
+        chosen = rng.choice(cls_indices, size=target, replace=False)
+        keep.extend(chosen.tolist())
+    keep_arr = np.asarray(keep, dtype=int)
+    rng.shuffle(keep_arr)
+    return x[keep_arr], labels[keep_arr]

@@ -1,0 +1,55 @@
+"""Playback simulation substrate.
+
+This package implements the streaming substrate that LingXi's Monte-Carlo
+evaluator, the pre-deployment simulation experiments (Figure 10) and the
+simulated A/B campaigns (Figures 1, 12, 13) all run on:
+
+* :mod:`repro.sim.video` — bitrate ladders and VBR segment-size models.
+* :mod:`repro.sim.bandwidth` — bandwidth models and synthetic trace families.
+* :mod:`repro.sim.player` — the player-environment transition of Equation 3
+  (buffer, stall, waiting time, dynamic ``B_max``).
+* :mod:`repro.sim.session` — the segment-by-segment playback loop that joins
+  an ABR algorithm, the player and a user exit model into a
+  :class:`~repro.sim.session.PlaybackTrace`.
+* :mod:`repro.sim.traces` — trace file I/O and bundled synthetic trace sets.
+"""
+
+from repro.sim.video import BitrateLadder, Video, VideoLibrary, QUALITY_TIERS
+from repro.sim.bandwidth import (
+    BandwidthModel,
+    BandwidthTrace,
+    StationaryTraceGenerator,
+    MarkovTraceGenerator,
+    LowBandwidthTraceGenerator,
+    MixedTraceGenerator,
+)
+from repro.sim.player import PlayerEnvironment, SegmentResult
+from repro.sim.session import (
+    PlaybackSession,
+    PlaybackTrace,
+    SegmentRecord,
+    SessionConfig,
+)
+from repro.sim.traces import generate_trace_set, save_traces, load_traces
+
+__all__ = [
+    "BitrateLadder",
+    "Video",
+    "VideoLibrary",
+    "QUALITY_TIERS",
+    "BandwidthModel",
+    "BandwidthTrace",
+    "StationaryTraceGenerator",
+    "MarkovTraceGenerator",
+    "LowBandwidthTraceGenerator",
+    "MixedTraceGenerator",
+    "PlayerEnvironment",
+    "SegmentResult",
+    "PlaybackSession",
+    "PlaybackTrace",
+    "SegmentRecord",
+    "SessionConfig",
+    "generate_trace_set",
+    "save_traces",
+    "load_traces",
+]

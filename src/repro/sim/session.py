@@ -1,0 +1,361 @@
+"""Playback session engine.
+
+A :class:`PlaybackSession` joins three pieces around a
+:class:`~repro.sim.player.PlayerEnvironment`:
+
+* an **ABR algorithm** (anything implementing :class:`ABRPolicy`) that picks
+  the quality level for each segment from an :class:`ABRContext` snapshot;
+* a **bandwidth source** (a :class:`~repro.sim.bandwidth.BandwidthTrace`);
+* an optional **user exit model** (anything implementing :class:`ExitModel`)
+  that, after every segment, decides whether the simulated user abandons the
+  video — this is the per-segment exit behaviour the paper's Monte-Carlo
+  evaluator and pre-deployment simulation build on.
+
+The session produces a :class:`PlaybackTrace` of per-segment
+:class:`SegmentRecord` entries carrying everything later stages need
+(analytics, exit-rate predictor features, production-log synthesis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.sim.bandwidth import BandwidthTrace
+from repro.sim.player import PlayerEnvironment, SegmentResult
+from repro.sim.video import BitrateLadder, Video
+
+
+@dataclass(frozen=True)
+class ABRContext:
+    """Snapshot handed to an ABR algorithm before each segment download."""
+
+    segment_index: int
+    buffer: float
+    buffer_cap: float
+    last_level: int | None
+    throughput_history_kbps: tuple[float, ...]
+    next_segment_sizes_kbit: tuple[float, ...]
+    ladder: BitrateLadder
+    segment_duration: float
+    bandwidth_mean_kbps: float
+    bandwidth_std_kbps: float
+
+    @property
+    def estimated_bandwidth_kbps(self) -> float:
+        """Plain mean-of-window bandwidth estimate (kbps)."""
+        return self.bandwidth_mean_kbps
+
+
+class ABRPolicy(Protocol):
+    """Minimal interface an ABR algorithm must expose to the session engine."""
+
+    def select_level(self, context: ABRContext) -> int:
+        """Return the ladder level to download next."""
+        ...
+
+    def reset(self) -> None:
+        """Clear any per-session internal state."""
+        ...
+
+
+@dataclass(frozen=True)
+class ExitObservation:
+    """What a user exit model sees after each segment has played."""
+
+    segment_index: int
+    level: int
+    previous_level: int | None
+    bitrate_kbps: float
+    stall_time: float
+    cumulative_stall_time: float
+    stall_count: int
+    watch_time: float
+    buffer: float
+    segments_since_last_stall: int
+    throughput_kbps: float
+
+    @property
+    def switch_magnitude(self) -> int:
+        """Signed level change relative to the previous segment (0 if first)."""
+        if self.previous_level is None:
+            return 0
+        return self.level - self.previous_level
+
+
+class ExitModel(Protocol):
+    """Minimal interface of a user exit/engagement model."""
+
+    def exit_probability(self, observation: ExitObservation) -> float:
+        """Probability of abandoning the video after this segment."""
+        ...
+
+    def reset(self) -> None:
+        """Clear any per-session internal state."""
+        ...
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """Per-segment entry of a :class:`PlaybackTrace`."""
+
+    segment_index: int
+    level: int
+    bitrate_kbps: float
+    size_kbit: float
+    bandwidth_kbps: float
+    download_time: float
+    stall_time: float
+    wait_time: float
+    buffer_before: float
+    buffer_after: float
+    watch_time: float
+    cumulative_stall_time: float
+    stall_count: int
+    exit_probability: float
+    exited: bool
+
+
+@dataclass
+class PlaybackTrace:
+    """Full record of one playback session."""
+
+    user_id: str = "user"
+    video_duration: float = 0.0
+    segment_duration: float = 0.0
+    trace_name: str = ""
+    records: list[SegmentRecord] = field(default_factory=list)
+    exited_early: bool = False
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    @property
+    def watch_time(self) -> float:
+        """Seconds of video actually played."""
+        return len(self.records) * self.segment_duration
+
+    @property
+    def completed(self) -> bool:
+        """True when the full video was watched without an early exit."""
+        return not self.exited_early and self.watch_time >= self.video_duration - 1e-9
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of the video watched (0 for an empty trace)."""
+        if self.video_duration <= 0:
+            return 0.0
+        return min(self.watch_time / self.video_duration, 1.0)
+
+    @property
+    def total_stall_time(self) -> float:
+        """Total stall time (seconds)."""
+        return sum(r.stall_time for r in self.records)
+
+    @property
+    def stall_count(self) -> int:
+        """Number of stall events."""
+        return sum(1 for r in self.records if r.stall_time > 1e-12)
+
+    @property
+    def mean_bitrate_kbps(self) -> float:
+        """Mean selected bitrate (kbps), 0 for an empty trace."""
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.bitrate_kbps for r in self.records]))
+
+    @property
+    def bitrates_kbps(self) -> np.ndarray:
+        """Vector of selected bitrates."""
+        return np.asarray([r.bitrate_kbps for r in self.records], dtype=float)
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Vector of selected ladder levels."""
+        return np.asarray([r.level for r in self.records], dtype=int)
+
+    @property
+    def num_switches(self) -> int:
+        """Number of quality switches."""
+        levels = self.levels
+        if levels.size < 2:
+            return 0
+        return int(np.count_nonzero(np.diff(levels)))
+
+    @property
+    def stall_times(self) -> np.ndarray:
+        """Per-segment stall time vector."""
+        return np.asarray([r.stall_time for r in self.records], dtype=float)
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Knobs of a playback session."""
+
+    start_level: int = 0
+    initial_buffer: float = 0.0
+    rtt: float = 0.08
+    base_buffer_cap: float = 12.0
+    max_segments: int | None = None
+
+
+class PlaybackSession:
+    """Run ABR + player + (optional) user exit model over a bandwidth trace."""
+
+    def __init__(self, config: SessionConfig | None = None) -> None:
+        self.config = config or SessionConfig()
+
+    def run(
+        self,
+        abr: ABRPolicy,
+        video: Video,
+        trace: BandwidthTrace,
+        exit_model: ExitModel | None = None,
+        rng: np.random.Generator | None = None,
+        user_id: str = "user",
+    ) -> PlaybackTrace:
+        """Play ``video`` over ``trace`` with ``abr`` deciding quality levels.
+
+        When ``exit_model`` is given, the session may terminate early with an
+        exit event; exit decisions are drawn with ``rng`` (a fresh default RNG
+        is created when omitted, which makes deterministic rule-based exit
+        models reproducible regardless).
+        """
+        rng = rng or np.random.default_rng(0)
+        abr.reset()
+        if exit_model is not None:
+            exit_model.reset()
+
+        player = PlayerEnvironment(
+            video=video,
+            rtt=self.config.rtt,
+            initial_buffer=self.config.initial_buffer,
+            base_buffer_cap=self.config.base_buffer_cap,
+        )
+        playback = PlaybackTrace(
+            user_id=user_id,
+            video_duration=video.duration,
+            segment_duration=video.segment_duration,
+            trace_name=trace.name,
+        )
+
+        max_segments = video.num_segments
+        if self.config.max_segments is not None:
+            max_segments = min(max_segments, self.config.max_segments)
+
+        throughput_history: list[float] = []
+        last_level: int | None = None
+        cumulative_stall = 0.0
+        stall_count = 0
+        segments_since_stall = 0
+
+        for k in range(max_segments):
+            context = ABRContext(
+                segment_index=k,
+                buffer=player.buffer,
+                buffer_cap=player.buffer_cap,
+                last_level=last_level,
+                throughput_history_kbps=tuple(throughput_history[-8:]),
+                next_segment_sizes_kbit=tuple(video.sizes_for_segment(k)),
+                ladder=video.ladder,
+                segment_duration=video.segment_duration,
+                bandwidth_mean_kbps=player.bandwidth_model.mean,
+                bandwidth_std_kbps=player.bandwidth_model.std,
+            )
+            level = int(abr.select_level(context))
+            if not 0 <= level < video.ladder.num_levels:
+                raise ValueError(
+                    f"ABR returned invalid level {level} for a "
+                    f"{video.ladder.num_levels}-level ladder"
+                )
+            bandwidth = trace.bandwidth_at(k)
+            result: SegmentResult = player.step(level, bandwidth)
+
+            cumulative_stall += result.stall_time
+            if result.stall_time > 1e-12:
+                stall_count += 1
+                segments_since_stall = 0
+            else:
+                segments_since_stall += 1
+            throughput_history.append(result.throughput_kbps)
+
+            watch_time = (k + 1) * video.segment_duration
+            exit_probability = 0.0
+            exited = False
+            if exit_model is not None:
+                observation = ExitObservation(
+                    segment_index=k,
+                    level=level,
+                    previous_level=last_level,
+                    bitrate_kbps=result.bitrate_kbps,
+                    stall_time=result.stall_time,
+                    cumulative_stall_time=cumulative_stall,
+                    stall_count=stall_count,
+                    watch_time=watch_time,
+                    buffer=result.buffer_after,
+                    segments_since_last_stall=segments_since_stall,
+                    throughput_kbps=result.throughput_kbps,
+                )
+                exit_probability = float(exit_model.exit_probability(observation))
+                if not 0.0 <= exit_probability <= 1.0:
+                    raise ValueError("exit probability must be in [0, 1]")
+                exited = bool(rng.random() < exit_probability)
+
+            playback.records.append(
+                SegmentRecord(
+                    segment_index=k,
+                    level=level,
+                    bitrate_kbps=result.bitrate_kbps,
+                    size_kbit=result.size_kbit,
+                    bandwidth_kbps=result.bandwidth_kbps,
+                    download_time=result.download_time,
+                    stall_time=result.stall_time,
+                    wait_time=result.wait_time,
+                    buffer_before=result.buffer_before,
+                    buffer_after=result.buffer_after,
+                    watch_time=watch_time,
+                    cumulative_stall_time=cumulative_stall,
+                    stall_count=stall_count,
+                    exit_probability=exit_probability,
+                    exited=exited,
+                )
+            )
+            observe = getattr(abr, "observe", None)
+            if observe is not None:
+                # Feedback hook used by LingXi-style wrappers that track
+                # per-segment outcomes (stalls, exits) during live playback.
+                observe(playback.records[-1])
+            last_level = level
+            if exited:
+                playback.exited_early = True
+                break
+
+        return playback
+
+    def run_many(
+        self,
+        abr: ABRPolicy,
+        videos: Sequence[Video],
+        traces: Sequence[BandwidthTrace],
+        exit_model: ExitModel | None = None,
+        rng: np.random.Generator | None = None,
+        user_id: str = "user",
+    ) -> list[PlaybackTrace]:
+        """Run one session per (video, trace) pair, zipped and cycled."""
+        rng = rng or np.random.default_rng(0)
+        n = max(len(videos), len(traces))
+        results = []
+        for i in range(n):
+            results.append(
+                self.run(
+                    abr,
+                    videos[i % len(videos)],
+                    traces[i % len(traces)],
+                    exit_model=exit_model,
+                    rng=rng,
+                    user_id=user_id,
+                )
+            )
+        return results

@@ -1,0 +1,236 @@
+"""Video model: bitrate ladders, quality tiers and VBR segment sizes.
+
+The paper analyses four quality tiers (LD / SD / HD / Full HD, §2.2) and uses
+the standard chunked-video abstraction of the `QoE_lin` literature: a video is
+a sequence of ``K`` segments of fixed play-out duration ``L``; each segment is
+encoded at every rung of a bitrate ladder and the ABR algorithm picks one rung
+per segment.  Segment sizes are variable-bitrate (VBR): the actual size of
+segment ``k`` at rung ``q`` fluctuates around ``bitrate[q] * L``.
+
+Units used throughout the library:
+
+* bitrate — kilobits per second (kbps)
+* segment size — kilobits (kbit)
+* duration — seconds
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+#: Human-readable names for the four quality tiers analysed in §2.2.
+QUALITY_TIERS: tuple[str, ...] = ("LD", "SD", "HD", "FullHD")
+
+#: Default production-style ladder (kbps).  The top rung (~4.3 Mbps) matches
+#: the "max video bitrate" the paper compares user bandwidth against (Fig. 2a).
+DEFAULT_LADDER_KBPS: tuple[float, ...] = (350.0, 750.0, 1850.0, 4300.0)
+
+#: Default segment play-out duration ``L`` (seconds).  Short-video platforms
+#: use short segments; 2 s keeps per-segment exit-rate granularity fine.
+DEFAULT_SEGMENT_DURATION: float = 2.0
+
+
+@dataclass(frozen=True)
+class BitrateLadder:
+    """An ordered set of encoding bitrates with an associated quality function.
+
+    Parameters
+    ----------
+    bitrates_kbps:
+        Monotonically increasing encoding bitrates, one per quality level.
+    tier_names:
+        Optional human-readable names (defaults to LD/SD/HD/FullHD-style
+        labels truncated or extended as needed).
+    """
+
+    bitrates_kbps: tuple[float, ...] = DEFAULT_LADDER_KBPS
+    tier_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.bitrates_kbps) < 2:
+            raise ValueError("a bitrate ladder needs at least two levels")
+        if any(b <= 0 for b in self.bitrates_kbps):
+            raise ValueError("bitrates must be positive")
+        if list(self.bitrates_kbps) != sorted(self.bitrates_kbps):
+            raise ValueError("bitrates must be sorted ascending")
+        if self.tier_names and len(self.tier_names) != len(self.bitrates_kbps):
+            raise ValueError("tier_names must match the number of bitrates")
+        if not self.tier_names:
+            names = tuple(
+                QUALITY_TIERS[i] if i < len(QUALITY_TIERS) else f"Q{i}"
+                for i in range(len(self.bitrates_kbps))
+            )
+            object.__setattr__(self, "tier_names", names)
+
+    @property
+    def num_levels(self) -> int:
+        """Number of rungs on the ladder."""
+        return len(self.bitrates_kbps)
+
+    @property
+    def max_bitrate(self) -> float:
+        """Highest encoding bitrate (kbps)."""
+        return self.bitrates_kbps[-1]
+
+    @property
+    def min_bitrate(self) -> float:
+        """Lowest encoding bitrate (kbps)."""
+        return self.bitrates_kbps[0]
+
+    def bitrate(self, level: int) -> float:
+        """Encoding bitrate (kbps) of ``level``."""
+        return self.bitrates_kbps[self._check(level)]
+
+    def quality(self, level: int) -> float:
+        """Quality value ``q(Q_k)`` used by `QoE_lin` (Equation 1).
+
+        Following the MPC/Pensieve convention the quality of a rung is its
+        bitrate expressed in Mbps, which keeps the stall-penalty weight
+        ``mu = q(max)`` (the paper's choice) in a sensible range.
+        """
+        return self.bitrates_kbps[self._check(level)] / 1000.0
+
+    def qualities(self) -> np.ndarray:
+        """Vector of quality values for every rung."""
+        return np.asarray(self.bitrates_kbps, dtype=float) / 1000.0
+
+    def tier_name(self, level: int) -> str:
+        """Human-readable tier name of ``level``."""
+        return self.tier_names[self._check(level)]
+
+    def level_for_bitrate(self, bitrate_kbps: float) -> int:
+        """Highest rung whose bitrate does not exceed ``bitrate_kbps``.
+
+        Returns 0 if even the lowest rung exceeds the given bitrate.
+        """
+        level = 0
+        for i, b in enumerate(self.bitrates_kbps):
+            if b <= bitrate_kbps:
+                level = i
+        return level
+
+    def _check(self, level: int) -> int:
+        if not 0 <= level < self.num_levels:
+            raise IndexError(
+                f"quality level {level} out of range [0, {self.num_levels})"
+            )
+        return level
+
+
+@dataclass
+class Video:
+    """A chunked video: ``num_segments`` segments of duration ``segment_duration``.
+
+    Segment sizes are generated once (deterministically for a given seed) so a
+    video object can be replayed across algorithms and experiments.
+    """
+
+    ladder: BitrateLadder = field(default_factory=BitrateLadder)
+    num_segments: int = 60
+    segment_duration: float = DEFAULT_SEGMENT_DURATION
+    vbr_std: float = 0.10
+    seed: int = 0
+    #: (num_segments, num_levels) matrix of sizes in kilobits.
+    segment_sizes_kbit: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_segments <= 0:
+            raise ValueError("num_segments must be positive")
+        if self.segment_duration <= 0:
+            raise ValueError("segment_duration must be positive")
+        if not 0 <= self.vbr_std < 1:
+            raise ValueError("vbr_std must be in [0, 1)")
+        rng = np.random.default_rng(self.seed)
+        nominal = (
+            np.asarray(self.ladder.bitrates_kbps, dtype=float)[None, :]
+            * self.segment_duration
+        )
+        jitter = rng.normal(1.0, self.vbr_std, size=(self.num_segments, 1))
+        jitter = np.clip(jitter, 0.5, 1.5)
+        self.segment_sizes_kbit = nominal * jitter
+
+    @property
+    def duration(self) -> float:
+        """Total play-out duration of the video (seconds)."""
+        return self.num_segments * self.segment_duration
+
+    def segment_size(self, index: int, level: int) -> float:
+        """Size in kilobits of segment ``index`` encoded at ``level``.
+
+        Indices beyond the end of the video wrap around, which lets the
+        Monte-Carlo evaluator run virtual playback longer than any single
+        video without special-casing.
+        """
+        return float(
+            self.segment_sizes_kbit[index % self.num_segments, self.ladder._check(level)]
+        )
+
+    def sizes_for_segment(self, index: int) -> np.ndarray:
+        """All rung sizes (kilobits) for segment ``index``."""
+        return self.segment_sizes_kbit[index % self.num_segments].copy()
+
+
+class VideoLibrary:
+    """A catalogue of videos with short-video-platform length statistics.
+
+    The paper sets the Monte-Carlo per-sample horizon ``T_sample`` to the
+    average length of online videos; the library exposes that average so the
+    evaluator and experiments share one source of truth.
+    """
+
+    def __init__(
+        self,
+        ladder: BitrateLadder | None = None,
+        num_videos: int = 32,
+        mean_duration: float = 60.0,
+        std_duration: float = 25.0,
+        segment_duration: float = DEFAULT_SEGMENT_DURATION,
+        vbr_std: float = 0.10,
+        seed: int = 0,
+    ) -> None:
+        if num_videos <= 0:
+            raise ValueError("num_videos must be positive")
+        self.ladder = ladder or BitrateLadder()
+        self.segment_duration = segment_duration
+        rng = np.random.default_rng(seed)
+        durations = np.clip(
+            rng.normal(mean_duration, std_duration, size=num_videos),
+            4 * segment_duration,
+            None,
+        )
+        self._videos = [
+            Video(
+                ladder=self.ladder,
+                num_segments=max(2, int(round(d / segment_duration))),
+                segment_duration=segment_duration,
+                vbr_std=vbr_std,
+                seed=seed + 1 + i,
+            )
+            for i, d in enumerate(durations)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._videos)
+
+    def __getitem__(self, index: int) -> Video:
+        return self._videos[index % len(self._videos)]
+
+    def __iter__(self):
+        return iter(self._videos)
+
+    @property
+    def videos(self) -> Sequence[Video]:
+        """All videos in the library."""
+        return tuple(self._videos)
+
+    @property
+    def mean_duration(self) -> float:
+        """Average video duration (seconds) — used as ``T_sample``."""
+        return float(np.mean([v.duration for v in self._videos]))
+
+    def sample(self, rng: np.random.Generator) -> Video:
+        """Draw a random video from the library."""
+        return self._videos[int(rng.integers(len(self._videos)))]

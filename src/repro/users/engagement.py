@@ -1,0 +1,262 @@
+"""User engagement (exit) models.
+
+Every class here implements the :class:`repro.sim.session.ExitModel`
+interface: ``exit_probability(observation) -> float`` plus ``reset()``.  Four
+families are provided:
+
+* :class:`BaselineExitModel` — content-driven exits unrelated to QoS.  These
+  are the "random exit events unrelated to QoS metrics" that dominate the ALL
+  dataset in Figure 9(a) and they also produce the declining hazard with watch
+  time seen in Figure 4(d).
+* :class:`QoSAwareExitModel` — the behavioural model used to synthesise
+  production logs: baseline hazard + universal quality/smoothness offsets (at
+  the 1e-3 / 1e-2 magnitudes of Takeaway 1) + the user's personal stall
+  response (1e-1 magnitude) from a
+  :class:`~repro.users.perception.StallSensitivityProfile`.
+* :class:`RuleBasedUser` — the deterministic exit rules of §5.2 (exit when
+  cumulative stall time or stall count crosses a threshold).
+* :class:`DataDrivenUser` — a per-user logistic exit model fitted from that
+  user's observed engagement history (the paper's data-driven modelling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sim.session import ExitObservation
+from repro.users.perception import StallSensitivityProfile
+
+#: Universal exit-rate offsets per quality tier (index = ladder level, lowest
+#: first).  Magnitude ~1e-3 per Takeaway 1; lower quality → slightly higher
+#: exit rate, with a diminishing gap between the top two tiers (Figure 4a).
+QUALITY_TIER_EXIT_OFFSETS: tuple[float, ...] = (0.006, 0.004, 0.001, 0.0)
+
+#: Universal exit-rate penalty per unit of |quality switch| (magnitude ~1e-2).
+SWITCH_EXIT_PENALTY: float = 0.008
+#: Extra penalty applied to downward switches (Figure 4b: degradation slightly
+#: worse than enhancement).
+DOWNWARD_SWITCH_EXTRA: float = 0.004
+
+
+@dataclass
+class BaselineExitModel:
+    """Content-driven exits independent of QoS.
+
+    The per-segment hazard starts at ``base_hazard`` and decays towards
+    ``floor_hazard`` as watch time accumulates — users who have stayed a while
+    are committed to the video (Figure 4d, "Beyond 20s").
+    """
+
+    base_hazard: float = 0.02
+    floor_hazard: float = 0.005
+    decay_time_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.floor_hazard <= self.base_hazard <= 1:
+            raise ValueError("need 0 <= floor_hazard <= base_hazard <= 1")
+        if self.decay_time_s <= 0:
+            raise ValueError("decay_time_s must be positive")
+
+    def exit_probability(self, observation: ExitObservation) -> float:
+        """Content-driven hazard for this segment."""
+        decay = float(np.exp(-observation.watch_time / self.decay_time_s))
+        return self.floor_hazard + (self.base_hazard - self.floor_hazard) * decay
+
+    def reset(self) -> None:
+        """Stateless — nothing to reset."""
+
+
+@dataclass
+class QoSAwareExitModel:
+    """Behavioural exit model combining content, quality, smoothness and stall.
+
+    This is the generative model behind the synthetic production logs: it
+    reproduces the hierarchical influence magnitudes of Takeaway 1
+    (quality ≈ 1e-3, smoothness ≈ 1e-2, stall ≈ 1e-1) on top of a content
+    baseline, with the stall response personalised through ``profile``.
+    """
+
+    profile: StallSensitivityProfile = field(default_factory=StallSensitivityProfile)
+    baseline: BaselineExitModel = field(default_factory=BaselineExitModel)
+    quality_offsets: tuple[float, ...] = QUALITY_TIER_EXIT_OFFSETS
+    switch_penalty: float = SWITCH_EXIT_PENALTY
+    downward_switch_extra: float = DOWNWARD_SWITCH_EXTRA
+    engagement_stall_discount: float = 0.85
+    engagement_time_s: float = 20.0
+
+    def exit_probability(self, observation: ExitObservation) -> float:
+        """Combine all exit drivers into one per-segment probability."""
+        probability = self.baseline.exit_probability(observation)
+
+        level = min(observation.level, len(self.quality_offsets) - 1)
+        probability += self.quality_offsets[level]
+
+        switch = observation.switch_magnitude
+        if switch != 0:
+            probability += self.switch_penalty * min(abs(switch), 3)
+            if switch < 0:
+                probability += self.downward_switch_extra
+
+        if observation.stall_time > 1e-12:
+            stall_probability = self.profile.stall_exit_probability(
+                observation.cumulative_stall_time, observation.stall_count
+            )
+            # Long-engaged viewers tolerate stalls better (Figure 4d).
+            if observation.watch_time > self.engagement_time_s:
+                stall_probability *= self.engagement_stall_discount
+            # Higher quality raises expectations, shrinking stall tolerance.
+            top_level = len(self.quality_offsets) - 1
+            if observation.level >= top_level:
+                stall_probability *= 1.15
+            probability += stall_probability
+
+        return float(min(max(probability, 0.0), 1.0))
+
+    def reset(self) -> None:
+        """Stateless — nothing to reset."""
+
+
+@dataclass
+class RuleBasedUser:
+    """Deterministic exit rules of §5.2: thresholds on stall time and count.
+
+    The user exits (probability 1) the moment the session's cumulative stall
+    time reaches ``stall_time_threshold_s`` seconds or the number of stall
+    events reaches ``stall_count_threshold``; otherwise the exit probability
+    is 0.  Thresholds between 2 and 9 generate the 64 engagement rules of the
+    rule-based simulation study.
+    """
+
+    stall_time_threshold_s: float = 4.0
+    stall_count_threshold: int = 4
+
+    def __post_init__(self) -> None:
+        if self.stall_time_threshold_s <= 0:
+            raise ValueError("stall_time_threshold_s must be positive")
+        if self.stall_count_threshold <= 0:
+            raise ValueError("stall_count_threshold must be positive")
+
+    def exit_probability(self, observation: ExitObservation) -> float:
+        """1.0 once either threshold is crossed, else 0.0."""
+        if observation.cumulative_stall_time >= self.stall_time_threshold_s:
+            return 1.0
+        if observation.stall_count >= self.stall_count_threshold:
+            return 1.0
+        return 0.0
+
+    def reset(self) -> None:
+        """Stateless — nothing to reset."""
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+
+def observation_features(observation: ExitObservation) -> np.ndarray:
+    """Feature vector used by :class:`DataDrivenUser`.
+
+    Features: [segment stall time, cumulative stall time, stall count,
+    watch time (min), bitrate (Mbps), |switch magnitude|, buffer (s)].
+    """
+    return np.asarray(
+        [
+            observation.stall_time,
+            observation.cumulative_stall_time,
+            float(observation.stall_count),
+            observation.watch_time / 60.0,
+            observation.bitrate_kbps / 1000.0,
+            float(abs(observation.switch_magnitude)),
+            observation.buffer,
+        ],
+        dtype=float,
+    )
+
+
+@dataclass
+class DataDrivenUser:
+    """Per-user logistic exit model fitted from engagement history."""
+
+    weights: np.ndarray
+    bias: float
+    feature_scale: np.ndarray
+
+    def exit_probability(self, observation: ExitObservation) -> float:
+        """Logistic exit probability for this observation."""
+        x = observation_features(observation) / self.feature_scale
+        return float(_sigmoid(np.asarray([x @ self.weights + self.bias]))[0])
+
+    def reset(self) -> None:
+        """Stateless — nothing to reset."""
+
+
+def features_from_segment_records(records) -> tuple[np.ndarray, np.ndarray]:
+    """Observation features and exit labels from a sequence of segment records.
+
+    Mirrors :func:`observation_features` for
+    :class:`~repro.sim.session.SegmentRecord` sequences so per-user exit
+    models can be fitted directly from logged playback traces (the paper's
+    data-driven user modelling, §5.2).
+    """
+    features: list[list[float]] = []
+    labels: list[int] = []
+    previous_level: int | None = None
+    for record in records:
+        switch = 0 if previous_level is None else record.level - previous_level
+        features.append(
+            [
+                record.stall_time,
+                record.cumulative_stall_time,
+                float(record.stall_count),
+                record.watch_time / 60.0,
+                record.bitrate_kbps / 1000.0,
+                float(abs(switch)),
+                record.buffer_after,
+            ]
+        )
+        labels.append(int(record.exited))
+        previous_level = record.level
+    if not features:
+        raise ValueError("need at least one segment record")
+    return np.asarray(features, dtype=float), np.asarray(labels, dtype=int)
+
+
+def fit_data_driven_user(
+    features: np.ndarray,
+    labels: np.ndarray,
+    learning_rate: float = 0.2,
+    epochs: int = 300,
+    l2: float = 1e-3,
+) -> DataDrivenUser:
+    """Fit a :class:`DataDrivenUser` by logistic regression (full-batch GD).
+
+    ``features`` has shape (n, 7) (see :func:`observation_features`);
+    ``labels`` is 0/1 with 1 meaning the user exited after that segment.
+    """
+    features = np.asarray(features, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    if features.ndim != 2 or features.shape[0] != labels.shape[0]:
+        raise ValueError("features must be (n, d) with matching labels")
+    if features.shape[0] == 0:
+        raise ValueError("need at least one sample")
+
+    scale = np.maximum(np.std(features, axis=0), 1e-6)
+    x = features / scale
+    n, d = x.shape
+    weights = np.zeros(d)
+    bias = 0.0
+    # Reweight classes so rare exits are not ignored.
+    positive = max(labels.sum(), 1.0)
+    negative = max(n - labels.sum(), 1.0)
+    sample_weight = np.where(labels > 0.5, n / (2.0 * positive), n / (2.0 * negative))
+
+    for _ in range(epochs):
+        predictions = _sigmoid(x @ weights + bias)
+        error = (predictions - labels) * sample_weight
+        grad_w = x.T @ error / n + l2 * weights
+        grad_b = float(np.mean(error))
+        weights -= learning_rate * grad_w
+        bias -= learning_rate * grad_b
+
+    return DataDrivenUser(weights=weights, bias=float(bias), feature_scale=scale)

@@ -1,0 +1,162 @@
+"""Heterogeneous user population generation.
+
+A :class:`UserProfile` bundles everything the simulated experiments need to
+know about one user: their network regime (long-run mean bandwidth and
+burstiness — matching the platform-wide distribution of Figure 2a), their
+stall-sensitivity profile (Figure 5), and their activity level (sessions per
+day).  :class:`UserPopulation` draws a population of such profiles and can
+roll the population forward one day (bandwidth regression to the mean plus
+tolerance drift, Figure 5a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.sim.bandwidth import (
+    BandwidthTrace,
+    MarkovTraceGenerator,
+    MixedTraceGenerator,
+    StationaryTraceGenerator,
+)
+from repro.users.engagement import BaselineExitModel, QoSAwareExitModel
+from repro.users.perception import StallSensitivityProfile, sample_profile
+
+
+@dataclass(frozen=True)
+class UserProfile:
+    """Everything needed to simulate one user."""
+
+    user_id: str
+    mean_bandwidth_kbps: float
+    bursty: bool
+    sensitivity: StallSensitivityProfile
+    sessions_per_day: int
+    base_hazard: float
+
+    def __post_init__(self) -> None:
+        if self.mean_bandwidth_kbps <= 0:
+            raise ValueError("mean_bandwidth_kbps must be positive")
+        if self.sessions_per_day <= 0:
+            raise ValueError("sessions_per_day must be positive")
+        if not 0 < self.base_hazard < 1:
+            raise ValueError("base_hazard must be in (0, 1)")
+
+    def exit_model(self) -> QoSAwareExitModel:
+        """Behavioural exit model for this user."""
+        return QoSAwareExitModel(
+            profile=self.sensitivity,
+            baseline=BaselineExitModel(
+                base_hazard=self.base_hazard,
+                floor_hazard=min(0.008, self.base_hazard * 0.5),
+            ),
+        )
+
+    def bandwidth_trace(
+        self, length: int, rng: np.random.Generator, name: str | None = None
+    ) -> BandwidthTrace:
+        """Generate a bandwidth trace in this user's network regime."""
+        if self.bursty:
+            generator = MarkovTraceGenerator(
+                good_mean_kbps=self.mean_bandwidth_kbps * 1.2,
+                bad_mean_kbps=max(self.mean_bandwidth_kbps * 0.35, 50.0),
+                good_std_kbps=self.mean_bandwidth_kbps * 0.25,
+                bad_std_kbps=self.mean_bandwidth_kbps * 0.12,
+            )
+        else:
+            generator = StationaryTraceGenerator(
+                self.mean_bandwidth_kbps, self.mean_bandwidth_kbps * 0.25
+            )
+        return generator.generate(length, rng, name=name or f"{self.user_id}_trace")
+
+    def next_day(self, rng: np.random.Generator) -> "UserProfile":
+        """Profile for the next simulated day (tolerance drift + mild bandwidth wobble)."""
+        new_bandwidth = float(
+            max(self.mean_bandwidth_kbps * rng.normal(1.0, 0.05), 50.0)
+        )
+        return replace(
+            self,
+            mean_bandwidth_kbps=new_bandwidth,
+            sensitivity=self.sensitivity.drifted(rng),
+        )
+
+
+class UserPopulation:
+    """A heterogeneous population of :class:`UserProfile` objects."""
+
+    def __init__(self, profiles: Sequence[UserProfile]) -> None:
+        if not profiles:
+            raise ValueError("a population needs at least one user")
+        self._profiles = list(profiles)
+
+    @classmethod
+    def generate(
+        cls,
+        num_users: int,
+        seed: int = 0,
+        bandwidth_median_kbps: float = 8000.0,
+        bandwidth_sigma_log: float = 0.9,
+        burst_fraction: float = 0.3,
+    ) -> "UserPopulation":
+        """Draw ``num_users`` profiles from the population distributions."""
+        if num_users <= 0:
+            raise ValueError("num_users must be positive")
+        rng = np.random.default_rng(seed)
+        mixture = MixedTraceGenerator(
+            median_kbps=bandwidth_median_kbps,
+            sigma_log=bandwidth_sigma_log,
+            burst_fraction=burst_fraction,
+        )
+        profiles = []
+        for i in range(num_users):
+            profiles.append(
+                UserProfile(
+                    user_id=f"u{i:05d}",
+                    mean_bandwidth_kbps=mixture.sample_user_mean(rng),
+                    bursty=bool(rng.random() < burst_fraction),
+                    sensitivity=sample_profile(rng),
+                    sessions_per_day=int(rng.integers(3, 15)),
+                    base_hazard=float(np.clip(rng.normal(0.02, 0.008), 0.004, 0.06)),
+                )
+            )
+        return cls(profiles)
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[UserProfile]:
+        return iter(self._profiles)
+
+    def __getitem__(self, index: int) -> UserProfile:
+        return self._profiles[index]
+
+    @property
+    def profiles(self) -> Sequence[UserProfile]:
+        """All user profiles."""
+        return tuple(self._profiles)
+
+    def mean_bandwidths(self) -> np.ndarray:
+        """Vector of per-user long-run mean bandwidths (kbps)."""
+        return np.asarray([p.mean_bandwidth_kbps for p in self._profiles])
+
+    def low_bandwidth_users(self, threshold_kbps: float = 2000.0) -> list[UserProfile]:
+        """Users in the long-tail bandwidth regime the paper focuses on (§5.4)."""
+        return [p for p in self._profiles if p.mean_bandwidth_kbps < threshold_kbps]
+
+    def split(self, fraction: float, seed: int = 0) -> tuple["UserPopulation", "UserPopulation"]:
+        """Randomly split the population (e.g. experimental vs control group)."""
+        if not 0 < fraction < 1:
+            raise ValueError("fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        indices = rng.permutation(len(self._profiles))
+        cut = max(1, min(len(self._profiles) - 1, int(round(fraction * len(self._profiles)))))
+        first = [self._profiles[i] for i in indices[:cut]]
+        second = [self._profiles[i] for i in indices[cut:]]
+        return UserPopulation(first), UserPopulation(second)
+
+    def next_day(self, rng: np.random.Generator) -> "UserPopulation":
+        """Population after one day of drift."""
+        return UserPopulation([p.next_day(rng) for p in self._profiles])

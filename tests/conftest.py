@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+Everything here is deliberately tiny: small videos, short traces, few users,
+small networks — the goal is fast, deterministic tests that still exercise the
+real code paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import SubstrateConfig, build_substrate
+from repro.sim.bandwidth import BandwidthTrace, StationaryTraceGenerator
+from repro.sim.video import BitrateLadder, Video, VideoLibrary
+from repro.users.population import UserPopulation
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for a single test."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def ladder() -> BitrateLadder:
+    """Default 4-level production-style ladder."""
+    return BitrateLadder()
+
+
+@pytest.fixture
+def video(ladder: BitrateLadder) -> Video:
+    """A short 20-segment video."""
+    return Video(ladder=ladder, num_segments=20, segment_duration=2.0, seed=7)
+
+
+@pytest.fixture
+def library(ladder: BitrateLadder) -> VideoLibrary:
+    """A tiny 4-video library."""
+    return VideoLibrary(ladder=ladder, num_videos=4, mean_duration=40.0, seed=3)
+
+
+@pytest.fixture
+def low_bandwidth_trace(rng: np.random.Generator) -> BandwidthTrace:
+    """A 1.2 Mbps trace that forces stalls at high bitrates."""
+    return StationaryTraceGenerator(1200.0, 300.0).generate(120, rng, name="low")
+
+
+@pytest.fixture
+def high_bandwidth_trace(rng: np.random.Generator) -> BandwidthTrace:
+    """A 20 Mbps trace where stalls are impossible."""
+    return StationaryTraceGenerator(20000.0, 2000.0).generate(120, rng, name="high")
+
+
+@pytest.fixture
+def population() -> UserPopulation:
+    """A small heterogeneous user population."""
+    return UserPopulation.generate(30, seed=5, bandwidth_median_kbps=4000.0)
+
+
+@pytest.fixture(scope="session")
+def tiny_substrate():
+    """A session-scoped, deliberately small experiment substrate."""
+    return build_substrate(
+        SubstrateConfig(
+            num_users=40,
+            days=1,
+            sessions_per_user_per_day=3,
+            num_videos=4,
+            bandwidth_median_kbps=5000.0,
+            training_oversample_days=3,
+            training_oversample_threshold_kbps=4000.0,
+            seed=42,
+        ),
+        train_epochs=4,
+    )

@@ -1,0 +1,201 @@
+"""Tests for the ABR algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.abr import BBA, BOLA, HYB, Pensieve, PensieveTrainer, QoEParameters, RobustMPC, ThroughputRule
+from repro.sim.session import ABRContext, PlaybackSession
+from repro.sim.video import BitrateLadder
+
+
+def make_context(
+    buffer=6.0,
+    throughput=3000.0,
+    history_length=5,
+    last_level=1,
+    segment_index=3,
+):
+    ladder = BitrateLadder()
+    sizes = tuple(b * 2.0 for b in ladder.bitrates_kbps)
+    history = tuple([throughput] * history_length)
+    return ABRContext(
+        segment_index=segment_index,
+        buffer=buffer,
+        buffer_cap=12.0,
+        last_level=last_level,
+        throughput_history_kbps=history,
+        next_segment_sizes_kbit=sizes,
+        ladder=ladder,
+        segment_duration=2.0,
+        bandwidth_mean_kbps=throughput,
+        bandwidth_std_kbps=throughput * 0.1,
+    )
+
+
+ALL_ALGORITHMS = [HYB, BBA, BOLA, ThroughputRule, RobustMPC, Pensieve]
+
+
+class TestQoEParameters:
+    def test_defaults_valid(self):
+        parameters = QoEParameters()
+        assert parameters.stall_penalty > 0
+        assert 0 < parameters.beta <= 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QoEParameters(stall_penalty=-1)
+        with pytest.raises(ValueError):
+            QoEParameters(beta=0.0)
+        with pytest.raises(ValueError):
+            QoEParameters(switch_penalty=-0.5)
+
+    def test_array_roundtrip(self):
+        parameters = QoEParameters(stall_penalty=7.0, switch_penalty=2.0, beta=0.6)
+        assert QoEParameters.from_array(parameters.to_array()) == parameters
+
+    def test_replace(self):
+        parameters = QoEParameters().replace(beta=0.5)
+        assert parameters.beta == 0.5
+
+
+class TestCommonBehaviour:
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS)
+    def test_levels_always_valid(self, algorithm_cls):
+        abr = algorithm_cls()
+        abr.reset()
+        for buffer in (0.0, 2.0, 8.0, 20.0):
+            for throughput in (200.0, 1500.0, 8000.0):
+                level = abr.select_level(make_context(buffer=buffer, throughput=throughput))
+                assert 0 <= level < 4
+
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS)
+    def test_set_parameters(self, algorithm_cls):
+        abr = algorithm_cls()
+        new = QoEParameters(stall_penalty=9.0, switch_penalty=0.5, beta=0.55)
+        abr.set_parameters(new)
+        assert abr.parameters == new
+        with pytest.raises(TypeError):
+            abr.set_parameters("not parameters")
+
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS)
+    def test_runs_full_session(self, algorithm_cls, video, low_bandwidth_trace, rng):
+        trace = PlaybackSession().run(algorithm_cls(), video, low_bandwidth_trace, rng=rng)
+        assert len(trace) == video.num_segments
+
+
+class TestHYB:
+    def test_no_history_uses_startup_level(self):
+        abr = HYB(startup_level=0)
+        assert abr.select_level(make_context(history_length=0)) == 0
+
+    def test_higher_beta_is_more_aggressive(self):
+        conservative = HYB(QoEParameters(beta=0.3))
+        aggressive = HYB(QoEParameters(beta=1.5))
+        context = make_context(buffer=4.0, throughput=2500.0)
+        assert aggressive.select_level(context) >= conservative.select_level(context)
+
+    def test_zero_buffer_forces_lowest(self):
+        abr = HYB()
+        assert abr.select_level(make_context(buffer=0.0)) == 0
+
+
+class TestBBA:
+    def test_reservoir_and_cushion(self):
+        abr = BBA(reservoir_s=4.0, cushion_s=8.0)
+        assert abr.select_level(make_context(buffer=1.0)) == 0
+        assert abr.select_level(make_context(buffer=20.0)) == 3
+        middle = abr.select_level(make_context(buffer=8.0))
+        assert 0 < middle < 3
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            BBA(reservoir_s=0)
+
+
+class TestBOLA:
+    def test_low_buffer_low_level(self):
+        abr = BOLA()
+        assert abr.select_level(make_context(buffer=0.5)) == 0
+
+    def test_high_buffer_higher_level(self):
+        abr = BOLA()
+        assert abr.select_level(make_context(buffer=11.0)) >= abr.select_level(
+            make_context(buffer=1.0)
+        )
+
+
+class TestThroughputRule:
+    def test_matches_sustainable_rate(self):
+        abr = ThroughputRule(gradual=False)
+        assert abr.select_level(make_context(throughput=400.0)) == 0
+        assert abr.select_level(make_context(throughput=10000.0)) == 3
+
+    def test_gradual_moves_one_step(self):
+        abr = ThroughputRule(gradual=True)
+        level = abr.select_level(make_context(throughput=10000.0, last_level=0))
+        assert level == 1
+
+
+class TestRobustMPC:
+    def test_avoids_stall_under_low_bandwidth(self):
+        abr = RobustMPC()
+        abr.reset()
+        level = abr.select_level(make_context(buffer=1.0, throughput=500.0))
+        assert level == 0
+
+    def test_high_bandwidth_high_quality(self):
+        abr = RobustMPC()
+        abr.reset()
+        level = abr.select_level(make_context(buffer=10.0, throughput=20000.0))
+        assert level == 3
+
+    def test_stall_penalty_changes_behaviour(self):
+        context = make_context(buffer=2.5, throughput=2200.0)
+        cautious = RobustMPC(QoEParameters(stall_penalty=50.0))
+        cautious.reset()
+        eager = RobustMPC(QoEParameters(stall_penalty=0.1))
+        eager.reset()
+        assert cautious.select_level(context) <= eager.select_level(context)
+
+    def test_reset_clears_errors(self):
+        abr = RobustMPC()
+        abr.select_level(make_context())
+        abr.select_level(make_context())
+        assert abr._past_errors or abr._last_prediction is not None
+        abr.reset()
+        assert abr._past_errors == []
+
+
+class TestPensieve:
+    def test_state_dimension(self):
+        agent = Pensieve()
+        state = agent.state_from_context(make_context())
+        assert state.shape == (agent.state_dim,)
+
+    def test_action_probabilities_sum_to_one(self):
+        agent = Pensieve()
+        probabilities = agent.action_probabilities(
+            agent.state_from_context(make_context())
+        )
+        assert probabilities.shape == (4,)
+        assert np.isclose(probabilities.sum(), 1.0)
+
+    def test_trajectory_recorded(self, video, high_bandwidth_trace, rng):
+        agent = Pensieve()
+        PlaybackSession().run(agent, video, high_bandwidth_trace, rng=rng)
+        assert len(agent.trajectory) == video.num_segments
+
+    def test_training_smoke(self, video, low_bandwidth_trace):
+        agent = Pensieve(seed=3)
+        trainer = PensieveTrainer(agent, [video], [low_bandwidth_trace], seed=3)
+        stats = trainer.train(iterations=3, episodes_per_iteration=2)
+        assert len(stats) == 3
+        assert all(np.isfinite(s.mean_reward) for s in stats)
+
+    def test_trainer_validation(self, video, low_bandwidth_trace):
+        agent = Pensieve()
+        with pytest.raises(ValueError):
+            PensieveTrainer(agent, [], [low_bandwidth_trace])
+        trainer = PensieveTrainer(agent, [video], [low_bandwidth_trace])
+        with pytest.raises(ValueError):
+            trainer.train(iterations=0)

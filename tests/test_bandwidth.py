@@ -1,0 +1,131 @@
+"""Tests for bandwidth models, trace generators and trace I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.bandwidth import (
+    BandwidthModel,
+    BandwidthTrace,
+    LowBandwidthTraceGenerator,
+    MarkovTraceGenerator,
+    MixedTraceGenerator,
+    StationaryTraceGenerator,
+    harmonic_mean,
+)
+from repro.sim.traces import generate_trace_set, load_traces, save_traces
+
+
+class TestBandwidthModel:
+    def test_prior_used_before_observations(self):
+        model = BandwidthModel(prior_mean_kbps=5000, prior_std_kbps=800)
+        assert model.mean == 5000
+        assert model.std == 800
+
+    def test_mean_and_std_track_window(self):
+        model = BandwidthModel(window=3)
+        model.extend([1000, 2000, 3000, 4000])
+        assert model.num_observations == 3
+        assert model.mean == pytest.approx(3000)
+        assert model.std == pytest.approx(1000)
+
+    def test_rejects_non_positive_throughput(self):
+        model = BandwidthModel()
+        with pytest.raises(ValueError):
+            model.update(0)
+
+    def test_sample_positive(self, rng):
+        model = BandwidthModel()
+        model.extend([100.0, 120.0])
+        samples = model.sample(rng, size=200)
+        assert np.all(samples > 0)
+
+    def test_stall_risk_negligible_rule(self):
+        model = BandwidthModel()
+        model.extend([20000.0, 20500.0, 19800.0, 20100.0])
+        assert model.stall_risk_negligible(4300.0)
+        low = BandwidthModel()
+        low.extend([1500.0, 1300.0, 1600.0])
+        assert not low.stall_risk_negligible(4300.0)
+
+    def test_copy_is_independent(self):
+        model = BandwidthModel()
+        model.extend([1000.0, 1100.0])
+        clone = model.copy()
+        clone.update(9000.0)
+        assert model.num_observations == 2
+        assert clone.num_observations == 3
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=1e5), min_size=1, max_size=30))
+    def test_mean_within_observed_range(self, values):
+        model = BandwidthModel(window=50)
+        model.extend(values)
+        assert min(values) - 1e-6 <= model.mean <= max(values) + 1e-6
+
+
+class TestTraces:
+    def test_trace_requires_positive_samples(self):
+        with pytest.raises(ValueError):
+            BandwidthTrace(values_kbps=(1000.0, -5.0))
+        with pytest.raises(ValueError):
+            BandwidthTrace(values_kbps=())
+
+    def test_trace_wraps(self):
+        trace = BandwidthTrace(values_kbps=(100.0, 200.0))
+        assert trace.bandwidth_at(2) == 100.0
+        assert trace.bandwidth_at(3) == 200.0
+
+    def test_scaled(self):
+        trace = BandwidthTrace(values_kbps=(100.0, 200.0))
+        scaled = trace.scaled(2.0)
+        assert scaled.values_kbps == (200.0, 400.0)
+        with pytest.raises(ValueError):
+            trace.scaled(0.0)
+
+    def test_stationary_generator_mean(self, rng):
+        trace = StationaryTraceGenerator(5000, 500).generate(500, rng)
+        assert abs(trace.mean - 5000) < 200
+
+    def test_markov_generator_two_regimes(self, rng):
+        generator = MarkovTraceGenerator(good_mean_kbps=8000, bad_mean_kbps=800)
+        trace = generator.generate(500, rng)
+        values = np.asarray(trace.values_kbps)
+        assert values.min() < 3000 < values.max()
+
+    def test_low_bandwidth_generator_stays_low(self, rng):
+        trace = LowBandwidthTraceGenerator(mean_kbps=1000, std_kbps=200).generate(300, rng)
+        assert trace.mean < 2000
+
+    def test_mixed_generator_population(self, rng):
+        generator = MixedTraceGenerator(median_kbps=6000)
+        traces = generator.generate_population(10, 50, rng)
+        assert len(traces) == 10
+        assert all(len(t) == 50 for t in traces)
+
+    def test_invalid_generator_parameters(self):
+        with pytest.raises(ValueError):
+            StationaryTraceGenerator(-5)
+        with pytest.raises(ValueError):
+            MarkovTraceGenerator(p_good_to_bad=1.5)
+        with pytest.raises(ValueError):
+            LowBandwidthTraceGenerator(dropout_prob=1.0)
+
+    def test_generate_trace_set_and_roundtrip(self, tmp_path, rng):
+        traces = generate_trace_set(num_traces=6, length=30, low_bandwidth_fraction=0.5, seed=1)
+        assert len(traces) == 6
+        path = tmp_path / "traces.json"
+        save_traces(traces, path)
+        loaded = load_traces(path)
+        assert [t.name for t in loaded] == [t.name for t in traces]
+        np.testing.assert_allclose(loaded[0].values_kbps, traces[0].values_kbps)
+
+
+class TestHarmonicMean:
+    def test_harmonic_mean_below_arithmetic(self):
+        values = [1000.0, 4000.0]
+        assert harmonic_mean(values) < np.mean(values)
+        assert harmonic_mean(values) == pytest.approx(1600.0)
+
+    def test_harmonic_mean_requires_positive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([0.0, -1.0])

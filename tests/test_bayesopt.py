@@ -1,0 +1,167 @@
+"""Tests for the Gaussian-process Bayesian optimization stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bayesopt import (
+    BayesianOptimizer,
+    GaussianProcess,
+    Matern52Kernel,
+    OnlineBayesianOptimizer,
+    RBFKernel,
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_improvement,
+)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_diagonal_equals_signal_variance(self, kernel_cls):
+        kernel = kernel_cls(length_scale=0.5, signal_variance=2.0)
+        x = np.random.default_rng(0).normal(size=(5, 3))
+        matrix = kernel(x, x)
+        np.testing.assert_allclose(np.diag(matrix), 2.0, atol=1e-8)
+
+    @pytest.mark.parametrize("kernel_cls", [RBFKernel, Matern52Kernel])
+    def test_symmetry_and_decay(self, kernel_cls):
+        kernel = kernel_cls()
+        x = np.asarray([[0.0], [0.1], [5.0]])
+        matrix = kernel(x, x)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+        assert matrix[0, 1] > matrix[0, 2]
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            RBFKernel(length_scale=0)
+        with pytest.raises(ValueError):
+            Matern52Kernel(signal_variance=-1)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            RBFKernel()(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestGaussianProcess:
+    def test_interpolates_observations(self):
+        x = np.linspace(0, 1, 6)[:, None]
+        y = np.sin(3 * x).ravel()
+        gp = GaussianProcess(noise=1e-8).fit(x, y)
+        mean, std = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.1)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.asarray([[0.0], [0.2]])
+        gp = GaussianProcess().fit(x, np.asarray([0.0, 0.1]))
+        _, std_near = gp.predict(np.asarray([[0.1]]))
+        _, std_far = gp.predict(np.asarray([[3.0]]))
+        assert std_far > std_near
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 1)))
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((2, 1)), np.zeros(3))
+
+    def test_duplicate_points_handled(self):
+        x = np.asarray([[0.5], [0.5], [0.5]])
+        gp = GaussianProcess().fit(x, np.asarray([1.0, 1.0, 1.0]))
+        mean, _ = gp.predict(np.asarray([[0.5]]))
+        assert mean[0] == pytest.approx(1.0, abs=1e-2)
+
+
+class TestAcquisitions:
+    def test_expected_improvement_prefers_low_mean(self):
+        ei = expected_improvement(np.asarray([0.1, 0.9]), np.asarray([0.1, 0.1]), best=0.5)
+        assert ei[0] > ei[1]
+
+    def test_probability_of_improvement_bounds(self):
+        pi = probability_of_improvement(np.asarray([0.0, 1.0]), np.asarray([0.2, 0.2]), best=0.5)
+        assert np.all(pi >= 0) and np.all(pi <= 1)
+        assert pi[0] > pi[1]
+
+    def test_lcb_rewards_uncertainty(self):
+        scores = lower_confidence_bound(np.asarray([0.5, 0.5]), np.asarray([0.01, 0.5]))
+        assert scores[1] > scores[0]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=-2, max_value=2), st.floats(min_value=1e-3, max_value=2))
+    def test_expected_improvement_non_negative(self, mean, std):
+        value = expected_improvement(np.asarray([mean]), np.asarray([std]), best=0.0)
+        assert value[0] >= -1e-9
+
+
+class TestBayesianOptimizer:
+    def test_minimizes_quadratic(self):
+        bounds = np.asarray([[-2.0, 2.0], [-2.0, 2.0]])
+        optimizer = BayesianOptimizer(bounds, seed=0)
+        best = optimizer.minimize(lambda x: float(np.sum((x - 0.5) ** 2)), num_iterations=25)
+        assert best.value < 0.5
+
+    def test_suggest_within_bounds(self):
+        bounds = np.asarray([[1.0, 3.0]])
+        optimizer = BayesianOptimizer(bounds, seed=1)
+        for _ in range(10):
+            candidate = optimizer.suggest()
+            assert 1.0 <= candidate[0] <= 3.0
+            optimizer.update(candidate, float(candidate[0] ** 2))
+
+    def test_update_validation(self):
+        optimizer = BayesianOptimizer(np.asarray([[0.0, 1.0]]))
+        with pytest.raises(ValueError):
+            optimizer.update(np.asarray([0.5, 0.5]), 1.0)
+        with pytest.raises(ValueError):
+            optimizer.update(np.asarray([0.5]), float("nan"))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            BayesianOptimizer(np.asarray([[1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            BayesianOptimizer(np.asarray([[0.0, 1.0]]), acquisition="bogus")
+
+    @pytest.mark.parametrize("acquisition", ["ei", "pi", "lcb"])
+    def test_all_acquisitions_run(self, acquisition):
+        optimizer = BayesianOptimizer(np.asarray([[0.0, 1.0]]), acquisition=acquisition, seed=2)
+        best = optimizer.minimize(lambda x: float((x[0] - 0.3) ** 2), num_iterations=12)
+        assert 0.0 <= best.x[0] <= 1.0
+
+
+class TestOnlineBayesianOptimizer:
+    def test_warm_start_carries_history(self):
+        bounds = np.asarray([[0.0, 1.0]])
+        obo = OnlineBayesianOptimizer(bounds, seed=0)
+        obo.start_round()
+        for _ in range(4):
+            candidate = obo.next_candidate()
+            obo.update(candidate, float((candidate[0] - 0.2) ** 2))
+        first_best = obo.best_trial
+        obo.start_round(incumbent=np.asarray([0.2]), incumbent_value=0.0)
+        assert len(obo.history) >= 5
+        assert obo.best_trial.value <= first_best.value
+
+    def test_update_before_round_raises(self):
+        obo = OnlineBayesianOptimizer(np.asarray([[0.0, 1.0]]))
+        with pytest.raises(RuntimeError):
+            obo.update(np.asarray([0.5]), 0.1)
+
+    def test_next_candidate_auto_starts_round(self):
+        obo = OnlineBayesianOptimizer(np.asarray([[0.0, 1.0]]), seed=1)
+        candidate = obo.next_candidate()
+        assert 0.0 <= candidate[0] <= 1.0
+
+    def test_history_bounded(self):
+        obo = OnlineBayesianOptimizer(np.asarray([[0.0, 1.0]]), memory=2, seed=2)
+        obo.start_round()
+        for i in range(60):
+            obo.update(np.asarray([0.5]), float(i))
+        assert len(obo.history) <= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineBayesianOptimizer(np.asarray([[0.0, 1.0]]), memory=0)
+        with pytest.raises(ValueError):
+            OnlineBayesianOptimizer(np.asarray([[0.0, 1.0]]), decay=0.0)

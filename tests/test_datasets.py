@@ -1,0 +1,126 @@
+"""Tests for synthetic log generation and the exit-predictor datasets."""
+
+import numpy as np
+import pytest
+
+from repro.abr.bba import BBA
+from repro.datasets import (
+    DatasetComposition,
+    LogGenerationConfig,
+    build_exit_dataset,
+    generate_production_logs,
+)
+from repro.datasets.stall_dataset import (
+    DEFAULT_TOLERANCE_PRIOR_S,
+    NUM_FEATURES,
+    WINDOW_LENGTH,
+    ExitDataset,
+    estimate_tolerance,
+)
+from repro.sim.video import VideoLibrary
+from repro.users.population import UserPopulation
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    population = UserPopulation.generate(25, seed=9, bandwidth_median_kbps=3000)
+    library = VideoLibrary(num_videos=4, seed=2)
+    return generate_production_logs(
+        population,
+        library,
+        LogGenerationConfig(days=2, sessions_per_user_per_day=3, seed=4),
+    )
+
+
+class TestLogGeneration:
+    def test_schema(self, corpus):
+        assert len(corpus) == 25 * 2 * 3
+        session = corpus[0]
+        assert session.user_id.startswith("u")
+        assert session.day in (0, 1)
+        assert session.mean_bandwidth_kbps > 0
+        assert len(session.records) >= 1
+
+    def test_custom_abr_factory(self):
+        population = UserPopulation.generate(3, seed=1)
+        library = VideoLibrary(num_videos=2, seed=1)
+        logs = generate_production_logs(
+            population,
+            library,
+            LogGenerationConfig(days=1, sessions_per_user_per_day=1),
+            abr_factory=lambda _profile: BBA(),
+        )
+        assert len(logs) == 3
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LogGenerationConfig(days=0)
+        with pytest.raises(ValueError):
+            LogGenerationConfig(sessions_per_user_per_day=0)
+
+
+class TestEstimateTolerance:
+    def test_uses_exit_history_when_available(self):
+        assert estimate_tolerance(12.0, 3, 50.0) == pytest.approx(4.0)
+
+    def test_falls_back_to_survived_or_prior(self):
+        assert estimate_tolerance(0.0, 0, 9.0) == 9.0
+        assert estimate_tolerance(0.0, 0, 0.0) == DEFAULT_TOLERANCE_PRIOR_S
+
+
+class TestExitDataset:
+    def test_shapes_and_metadata(self, corpus):
+        dataset = build_exit_dataset(corpus, DatasetComposition.ALL)
+        assert dataset.features.shape[1:] == (NUM_FEATURES, WINDOW_LENGTH)
+        assert dataset.labels.shape == (len(dataset),)
+        assert len(dataset.user_ids) == len(dataset)
+        assert dataset.stall_ordinals is not None
+        assert set(np.unique(dataset.labels)) <= {0, 1}
+
+    def test_composition_sizes_nested(self, corpus):
+        all_ds = build_exit_dataset(corpus, DatasetComposition.ALL)
+        event_ds = build_exit_dataset(corpus, DatasetComposition.EVENT)
+        stall_ds = build_exit_dataset(corpus, DatasetComposition.STALL)
+        assert len(stall_ds) <= len(event_ds) <= len(all_ds)
+        assert stall_ds.exit_fraction >= all_ds.exit_fraction
+
+    def test_stall_samples_have_recent_stall(self, corpus):
+        stall_ds = build_exit_dataset(corpus, DatasetComposition.STALL)
+        # Row 3 is "segments since last stall"; the current segment stalled, so
+        # the last entry of that row must be zero for every sample.
+        assert np.allclose(stall_ds.features[:, 3, -1], 0.0)
+
+    def test_features_are_finite_and_non_negative(self, corpus):
+        dataset = build_exit_dataset(corpus, DatasetComposition.EVENT)
+        assert np.all(np.isfinite(dataset.features))
+        assert np.all(dataset.features >= 0.0)
+
+    def test_subset_preserves_alignment(self, corpus):
+        dataset = build_exit_dataset(corpus, DatasetComposition.ALL)
+        indices = np.arange(0, len(dataset), 7)
+        subset = dataset.subset(indices)
+        assert len(subset) == len(indices)
+        np.testing.assert_array_equal(subset.labels, dataset.labels[indices])
+        assert subset.user_ids[0] == dataset.user_ids[indices[0]]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExitDataset(
+                features=np.zeros((3, 2, 2)),
+                labels=np.zeros(3, dtype=int),
+                composition=DatasetComposition.ALL,
+            )
+        with pytest.raises(ValueError):
+            ExitDataset(
+                features=np.zeros((3, NUM_FEATURES, WINDOW_LENGTH)),
+                labels=np.zeros(4, dtype=int),
+                composition=DatasetComposition.ALL,
+            )
+
+    def test_exit_fraction_empty_handling(self):
+        dataset = ExitDataset(
+            features=np.zeros((2, NUM_FEATURES, WINDOW_LENGTH)),
+            labels=np.asarray([0, 1]),
+            composition=DatasetComposition.STALL,
+        )
+        assert dataset.exit_fraction == 0.5

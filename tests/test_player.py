@@ -1,0 +1,99 @@
+"""Tests for the player environment (Equation 3 dynamics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.player import PlayerEnvironment, dynamic_buffer_cap
+from repro.sim.video import BitrateLadder, Video
+
+
+def make_player(initial_buffer=0.0, **kwargs):
+    video = Video(ladder=BitrateLadder(), num_segments=30, segment_duration=2.0, seed=1)
+    return PlayerEnvironment(video=video, initial_buffer=initial_buffer, **kwargs)
+
+
+class TestDynamicBufferCap:
+    def test_cap_within_bounds(self):
+        assert 8.0 <= dynamic_buffer_cap(500, 100) <= 30.0
+        assert 8.0 <= dynamic_buffer_cap(50000, 100) <= 30.0
+
+    def test_low_bandwidth_gets_larger_cap(self):
+        assert dynamic_buffer_cap(800, 400) > dynamic_buffer_cap(20000, 400)
+
+    def test_requires_positive_mean(self):
+        with pytest.raises(ValueError):
+            dynamic_buffer_cap(0, 10)
+
+
+class TestPlayerEnvironment:
+    def test_first_segment_is_startup_not_stall(self):
+        player = make_player()
+        result = player.step(0, 1000.0)
+        assert result.stall_time == 0.0
+        assert player.startup_delay > 0.0
+        assert player.stall_count == 0
+
+    def test_stall_when_bandwidth_too_low(self):
+        player = make_player()
+        player.step(0, 5000.0)
+        result = player.step(3, 100.0)  # huge segment over a dead-slow link
+        assert result.stall_time > 0.0
+        assert player.stall_count == 1
+
+    def test_no_stall_with_ample_buffer_and_bandwidth(self):
+        player = make_player(initial_buffer=10.0)
+        result = player.step(0, 10000.0)
+        assert result.stall_time == 0.0
+
+    def test_buffer_never_exceeds_cap(self):
+        player = make_player()
+        for _ in range(20):
+            player.step(0, 20000.0)
+            assert player.buffer <= player.buffer_cap + 1e-9
+
+    def test_buffer_grows_by_segment_duration_when_fast(self):
+        player = make_player(initial_buffer=2.0)
+        before = player.buffer
+        result = player.step(0, 1e6)
+        # The buffer drains by the (tiny) download time before being credited.
+        assert result.buffer_after == pytest.approx(
+            min(before + 2.0, player.buffer_cap), abs=1e-2
+        )
+
+    def test_totals_accumulate(self):
+        player = make_player()
+        for _ in range(5):
+            player.step(0, 2000.0)
+        assert player.total_play_time == pytest.approx(10.0)
+        assert player.segment_index == 5
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            make_player(rtt=-1)
+        with pytest.raises(ValueError):
+            make_player(initial_buffer=-1)
+        player = make_player()
+        with pytest.raises(ValueError):
+            player.step(0, 0.0)
+
+    def test_fork_is_independent(self):
+        player = make_player()
+        player.step(0, 2000.0)
+        fork = player.fork()
+        fork.step(1, 2000.0)
+        assert player.segment_index == 1
+        assert fork.segment_index == 2
+        assert fork.total_play_time > player.total_play_time
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        levels=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=25),
+        bandwidth=st.floats(min_value=50.0, max_value=50000.0),
+    )
+    def test_buffer_always_in_valid_range(self, levels, bandwidth):
+        player = make_player()
+        for level in levels:
+            player.step(level, bandwidth)
+            assert 0.0 <= player.buffer <= player.buffer_cap + 1e-9
+            assert player.total_stall_time >= 0.0

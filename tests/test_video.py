@@ -1,0 +1,111 @@
+"""Tests for the video model (ladders, segment sizes, library)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.video import BitrateLadder, Video, VideoLibrary
+
+
+class TestBitrateLadder:
+    def test_default_ladder_has_four_tiers(self, ladder):
+        assert ladder.num_levels == 4
+        assert ladder.tier_names == ("LD", "SD", "HD", "FullHD")
+
+    def test_bitrates_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_kbps=(1000.0, 500.0))
+
+    def test_bitrates_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_kbps=(-1.0, 500.0))
+
+    def test_needs_at_least_two_levels(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_kbps=(500.0,))
+
+    def test_tier_names_length_checked(self):
+        with pytest.raises(ValueError):
+            BitrateLadder(bitrates_kbps=(500.0, 1000.0), tier_names=("only-one",))
+
+    def test_quality_is_bitrate_in_mbps(self, ladder):
+        for level in range(ladder.num_levels):
+            assert ladder.quality(level) == pytest.approx(ladder.bitrate(level) / 1000.0)
+
+    def test_qualities_vector_matches_scalar(self, ladder):
+        np.testing.assert_allclose(
+            ladder.qualities(), [ladder.quality(i) for i in range(ladder.num_levels)]
+        )
+
+    def test_level_out_of_range_raises(self, ladder):
+        with pytest.raises(IndexError):
+            ladder.bitrate(ladder.num_levels)
+        with pytest.raises(IndexError):
+            ladder.quality(-1)
+
+    def test_level_for_bitrate_picks_highest_affordable(self, ladder):
+        assert ladder.level_for_bitrate(ladder.max_bitrate + 1) == ladder.num_levels - 1
+        assert ladder.level_for_bitrate(ladder.min_bitrate - 1) == 0
+        mid = ladder.bitrates_kbps[1]
+        assert ladder.level_for_bitrate(mid + 1) == 1
+
+    @given(st.floats(min_value=1.0, max_value=1e6, allow_nan=False))
+    def test_level_for_bitrate_never_exceeds_budget_above_min(self, bitrate):
+        ladder = BitrateLadder()
+        level = ladder.level_for_bitrate(bitrate)
+        assert 0 <= level < ladder.num_levels
+        if bitrate >= ladder.min_bitrate:
+            assert ladder.bitrate(level) <= bitrate
+
+
+class TestVideo:
+    def test_segment_sizes_shape(self, video):
+        assert video.segment_sizes_kbit.shape == (20, 4)
+
+    def test_sizes_scale_with_bitrate(self, video):
+        sizes = video.segment_sizes_kbit
+        assert np.all(np.diff(sizes, axis=1) > 0)
+
+    def test_sizes_near_nominal(self, video, ladder):
+        nominal = np.asarray(ladder.bitrates_kbps) * video.segment_duration
+        ratio = video.segment_sizes_kbit / nominal[None, :]
+        assert np.all(ratio >= 0.5) and np.all(ratio <= 1.5)
+
+    def test_segment_index_wraps(self, video):
+        assert video.segment_size(0, 1) == video.segment_size(video.num_segments, 1)
+
+    def test_duration(self, video):
+        assert video.duration == pytest.approx(40.0)
+
+    def test_deterministic_for_seed(self, ladder):
+        a = Video(ladder=ladder, num_segments=10, seed=5)
+        b = Video(ladder=ladder, num_segments=10, seed=5)
+        np.testing.assert_allclose(a.segment_sizes_kbit, b.segment_sizes_kbit)
+
+    def test_invalid_parameters(self, ladder):
+        with pytest.raises(ValueError):
+            Video(ladder=ladder, num_segments=0)
+        with pytest.raises(ValueError):
+            Video(ladder=ladder, segment_duration=0)
+        with pytest.raises(ValueError):
+            Video(ladder=ladder, vbr_std=1.5)
+
+
+class TestVideoLibrary:
+    def test_library_len_and_iteration(self, library):
+        assert len(library) == 4
+        assert len(list(library)) == 4
+
+    def test_mean_duration_positive(self, library):
+        assert library.mean_duration > 0
+
+    def test_sample_returns_member(self, library, rng):
+        video = library.sample(rng)
+        assert video in library.videos
+
+    def test_indexing_wraps(self, library):
+        assert library[0] is library[len(library)]
+
+    def test_invalid_num_videos(self):
+        with pytest.raises(ValueError):
+            VideoLibrary(num_videos=0)
