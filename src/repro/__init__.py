@@ -16,6 +16,7 @@ Package map
 ``repro.analytics``  QoE_lin, playback logs, A/B testing statistics
 ``repro.datasets``   synthetic production logs and exit-predictor datasets
 ``repro.core``       LingXi itself (predictor, Monte Carlo, OBO controller)
+``repro.fleet``      sharded fleet orchestration, batched inference, telemetry
 ``repro.experiments`` per-figure reproduction drivers
 """
 
@@ -44,9 +45,17 @@ from repro.sim import (
     Video,
     VideoLibrary,
 )
+from repro.fleet import (
+    BatchedExitPredictor,
+    BatchedMonteCarloEvaluator,
+    FleetConfig,
+    FleetOrchestrator,
+    FleetResult,
+    run_fleet_day,
+)
 from repro.users import UserPopulation, UserProfile
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "HYB",
@@ -76,6 +85,12 @@ __all__ = [
     "SessionConfig",
     "Video",
     "VideoLibrary",
+    "BatchedExitPredictor",
+    "BatchedMonteCarloEvaluator",
+    "FleetConfig",
+    "FleetOrchestrator",
+    "FleetResult",
+    "run_fleet_day",
     "UserPopulation",
     "UserProfile",
     "__version__",

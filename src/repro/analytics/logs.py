@@ -103,12 +103,19 @@ class LogCollection:
         """Exit probability per watched segment, optionally restricted by ``predicate``."""
         watched = 0
         exited = 0
-        for session in self._sessions:
-            for record in session.records:
-                if predicate is not None and not predicate(record):
-                    continue
-                watched += 1
-                exited += int(record.exited)
+        if predicate is None:
+            # Fast path over the cached per-trace record arrays.
+            for session in self._sessions:
+                exited_flags = session.trace.exited_flags
+                watched += exited_flags.size
+                exited += int(exited_flags.sum())
+        else:
+            for session in self._sessions:
+                for record in session.records:
+                    if not predicate(record):
+                        continue
+                    watched += 1
+                    exited += int(record.exited)
         if watched == 0:
             return float("nan")
         return exited / watched
@@ -161,14 +168,28 @@ class LogCollection:
         edges = np.asarray(bins, dtype=float)
         watched = np.zeros(edges.size)
         exited = np.zeros(edges.size)
-        for session in self._sessions:
-            for record in session.records:
-                if record_filter is not None and not record_filter(record):
+        if record_filter is None:
+            # Fast path: bin every trace's cached cumulative-stall vector at once.
+            for session in self._sessions:
+                cumulative = session.trace.cumulative_stall_times
+                if cumulative.size == 0:
                     continue
-                index = int(np.searchsorted(edges, record.cumulative_stall_time, side="right") - 1)
-                index = max(index, 0)
-                watched[index] += 1
-                exited[index] += int(record.exited)
+                indices = np.maximum(
+                    np.searchsorted(edges, cumulative, side="right") - 1, 0
+                )
+                np.add.at(watched, indices, 1.0)
+                np.add.at(exited, indices, session.trace.exited_flags)
+        else:
+            for session in self._sessions:
+                for record in session.records:
+                    if not record_filter(record):
+                        continue
+                    index = int(
+                        np.searchsorted(edges, record.cumulative_stall_time, side="right") - 1
+                    )
+                    index = max(index, 0)
+                    watched[index] += 1
+                    exited[index] += int(record.exited)
         with np.errstate(invalid="ignore", divide="ignore"):
             return np.where(watched >= min_samples, exited / watched, np.nan)
 

@@ -23,7 +23,12 @@ from repro.core.monte_carlo import MonteCarloEvaluator, MonteCarloConfig
 from repro.core.parameter_space import ParameterSpace
 from repro.core.triggers import TriggerPolicy, PruningPolicy
 from repro.core.controller import LingXiController, LingXiABR, ControllerConfig
-from repro.core.persistence import save_long_term_state, load_long_term_state
+from repro.core.persistence import (
+    controller_state_payload,
+    load_long_term_state,
+    restore_controller_state,
+    save_long_term_state,
+)
 
 __all__ = [
     "UserState",
@@ -40,4 +45,6 @@ __all__ = [
     "ControllerConfig",
     "save_long_term_state",
     "load_long_term_state",
+    "controller_state_payload",
+    "restore_controller_state",
 ]

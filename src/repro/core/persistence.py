@@ -18,9 +18,14 @@ from repro.abr.base import QoEParameters
 from repro.core.controller import LingXiController
 
 
-def save_long_term_state(controller: LingXiController, path: str | Path) -> None:
-    """Serialise a controller's long-term state to ``path``."""
-    payload = {
+def controller_state_payload(controller: LingXiController) -> dict:
+    """Long-term state of a controller as a JSON-serialisable dict.
+
+    This is the single source of truth for the persisted schema; the file
+    helpers below and the fleet checkpointing layer
+    (:mod:`repro.fleet.checkpoint`) both build on it.
+    """
+    return {
         "user_state": controller.user_state.long_term_dict(),
         "best_parameters": {
             "stall_penalty": controller.best_parameters.stall_penalty,
@@ -28,15 +33,14 @@ def save_long_term_state(controller: LingXiController, path: str | Path) -> None
             "beta": controller.best_parameters.beta,
         },
         "obo_trials": [
-            {"x": list(trial.x), "value": trial.value} for trial in controller.obo.history
+            {"x": [float(v) for v in trial.x], "value": float(trial.value)}
+            for trial in controller.obo.history
         ],
     }
-    Path(path).write_text(json.dumps(payload, indent=2))
 
 
-def load_long_term_state(controller: LingXiController, path: str | Path) -> None:
-    """Restore a controller's long-term state from ``path`` (in place)."""
-    payload = json.loads(Path(path).read_text())
+def restore_controller_state(controller: LingXiController, payload: dict) -> None:
+    """Restore a controller's long-term state from a payload dict (in place)."""
     controller.user_state.restore_long_term(payload.get("user_state", {}))
     parameters = payload.get("best_parameters")
     if parameters:
@@ -50,3 +54,13 @@ def load_long_term_state(controller: LingXiController, path: str | Path) -> None
         controller.obo.start_round()
         for trial in trials:
             controller.obo.update(np.asarray(trial["x"], dtype=float), float(trial["value"]))
+
+
+def save_long_term_state(controller: LingXiController, path: str | Path) -> None:
+    """Serialise a controller's long-term state to ``path``."""
+    Path(path).write_text(json.dumps(controller_state_payload(controller), indent=2))
+
+
+def load_long_term_state(controller: LingXiController, path: str | Path) -> None:
+    """Restore a controller's long-term state from ``path`` (in place)."""
+    restore_controller_state(controller, json.loads(Path(path).read_text()))

@@ -1,12 +1,18 @@
 """Run every experiment with laptop-scale defaults and print a summary.
 
 ``python -m repro.experiments.runner`` regenerates the headline numbers of
-every figure (EXPERIMENTS.md records a reference run).  Individual figures
-can be run by importing their module and calling ``run()`` directly.
+every figure (EXPERIMENTS.md records a reference run).  A subset can be
+selected on the command line::
+
+    python -m repro.experiments.runner --figures fig01,fig12 --quiet
+
+Individual figures can also be run by importing their module and calling
+``run()`` directly.
 """
 
 from __future__ import annotations
 
+import argparse
 import time
 
 import numpy as np
@@ -28,13 +34,57 @@ from repro.experiments import (
 )
 from repro.experiments.common import SubstrateConfig, build_substrate
 
+#: Figure ids in execution order.  Figures 13–15 reuse the AA/AB campaign of
+#: Figure 12, so selecting any of them pulls ``fig12`` in as a dependency.
+FIGURE_IDS: tuple[str, ...] = (
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig08",
+    "fig09",
+    "fig10_mpc_rule",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+)
 
-def run_all(substrate_config: SubstrateConfig | None = None, verbose: bool = True) -> dict[str, object]:
-    """Run every figure driver once; returns a mapping figure-id -> result."""
+_FIG12_DEPENDENTS: frozenset[str] = frozenset({"fig13", "fig14", "fig15"})
+
+
+def select_figures(requested: list[str] | None) -> list[str]:
+    """Validate a figure selection and resolve the fig12 dependency.
+
+    ``None`` (or an empty list) selects everything.  The result preserves the
+    canonical execution order of :data:`FIGURE_IDS`.
+    """
+    if not requested:
+        return list(FIGURE_IDS)
+    unknown = sorted(set(requested) - set(FIGURE_IDS))
+    if unknown:
+        raise ValueError(f"unknown figures {unknown}; choose from {list(FIGURE_IDS)}")
+    selected = set(requested)
+    if selected & _FIG12_DEPENDENTS:
+        selected.add("fig12")
+    return [figure for figure in FIGURE_IDS if figure in selected]
+
+
+def run_all(
+    substrate_config: SubstrateConfig | None = None,
+    verbose: bool = True,
+    figures: list[str] | None = None,
+) -> dict[str, object]:
+    """Run the selected figure drivers once; returns figure-id -> result."""
+    selected = select_figures(figures)
     substrate = build_substrate(substrate_config or SubstrateConfig())
     results: dict[str, object] = {}
 
     def step(name: str, fn) -> None:
+        if name not in selected:
+            return
         start = time.time()
         results[name] = fn()
         if verbose:
@@ -49,27 +99,65 @@ def run_all(substrate_config: SubstrateConfig | None = None, verbose: bool = Tru
     step("fig09", lambda: fig09_predictor.run(substrate=substrate))
     step("fig10_mpc_rule", lambda: fig10_simulation.run("robust_mpc", "rule", substrate=substrate))
     step("fig11", lambda: fig11_heatmap.run(substrate=substrate))
-    ab_result = fig12_ab_test.run(substrate=substrate)
-    results["fig12"] = ab_result
+    step("fig12", lambda: fig12_ab_test.run(substrate=substrate))
+    ab_result = results.get("fig12")
     step("fig13", lambda: fig13_bandwidth_bins.run(substrate=substrate, ab_result=ab_result))
     step("fig14", lambda: fig14_exit_rate_vs_param.run(substrate=substrate, ab_result=ab_result))
     step("fig15", lambda: fig15_user_trajectories.run(substrate=substrate, ab_result=ab_result))
 
     if verbose:
-        fig04 = results["fig04"]
-        print(
-            "influence magnitudes:",
-            f"quality={fig04.quality_magnitude:.4f}",
-            f"smoothness={fig04.smoothness_magnitude:.4f}",
-            f"stall={fig04.stall_magnitude:.4f}",
-        )
-        fig12 = results["fig12"]
-        print(fig12.watch_time.summary())
-        print(fig12.bitrate.summary())
-        print(fig12.stall_time.summary())
+        if "fig04" in results:
+            fig04 = results["fig04"]
+            print(
+                "influence magnitudes:",
+                f"quality={fig04.quality_magnitude:.4f}",
+                f"smoothness={fig04.smoothness_magnitude:.4f}",
+                f"stall={fig04.stall_magnitude:.4f}",
+            )
+        if "fig12" in results:
+            fig12 = results["fig12"]
+            print(fig12.watch_time.summary())
+            print(fig12.bitrate.summary())
+            print(fig12.stall_time.summary())
     return results
 
 
-if __name__ == "__main__":
+def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Regenerate the paper's figures at laptop scale.",
+    )
+    parser.add_argument(
+        "--figures",
+        default=None,
+        help=(
+            "comma-separated figure ids to run (default: all); "
+            f"available: {', '.join(FIGURE_IDS)}"
+        ),
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-figure timing and summary output",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> dict[str, object]:
+    """Command-line entry point."""
+    args = _parse_args(argv)
+    figures = (
+        [name.strip() for name in args.figures.split(",") if name.strip()]
+        if args.figures
+        else None
+    )
+    try:
+        select_figures(figures)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
     np.set_printoptions(precision=4, suppress=True)
-    run_all()
+    return run_all(verbose=not args.quiet, figures=figures)
+
+
+if __name__ == "__main__":
+    main()

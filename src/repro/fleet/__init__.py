@@ -1,0 +1,100 @@
+"""repro.fleet — sharded multi-user session orchestration.
+
+The fleet layer scales the single-session engine of :mod:`repro.sim` into a
+platform simulator:
+
+* :mod:`repro.fleet.orchestrator` — :class:`FleetOrchestrator` shards a
+  :class:`~repro.users.population.UserPopulation` across a process pool with
+  deterministic per-shard seeding and merges the results into the standard
+  :class:`~repro.analytics.logs.LogCollection` analytics format.
+* :mod:`repro.fleet.batched` — :class:`BatchedExitPredictor` and the lockstep
+  :class:`BatchedMonteCarloEvaluator` that batch exit-rate NN inference in the
+  Monte-Carlo hot path.
+* :mod:`repro.fleet.scenarios` — the workload registry (steady state, flash
+  crowd, regional degradation, device mix, plus user-registered ones).
+* :mod:`repro.fleet.telemetry` — JSONL event pipeline with a lossless
+  replay/loader API.
+* :mod:`repro.fleet.checkpoint` — per-user controller-state checkpointing for
+  multi-day campaigns across process boundaries.
+"""
+
+from repro.fleet.batched import BatchedExitPredictor, BatchedMonteCarloEvaluator
+from repro.fleet.checkpoint import (
+    FleetCheckpoint,
+    checkpoint_controllers,
+    load_fleet_checkpoint,
+    restore_controllers,
+    save_checkpoint_states,
+    save_fleet_checkpoint,
+)
+from repro.fleet.orchestrator import (
+    FleetConfig,
+    FleetMetrics,
+    FleetOrchestrator,
+    FleetResult,
+    HybFleetFactory,
+    LingXiFleetFactory,
+    ShardOutput,
+    ShardTask,
+    fleet_metrics,
+    run_fleet_day,
+    write_fleet_telemetry,
+)
+from repro.fleet.scenarios import (
+    DeviceMixScenario,
+    FlashCrowdScenario,
+    RegionalDegradationScenario,
+    Scenario,
+    SteadyStateScenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from repro.fleet.telemetry import (
+    TelemetryEvent,
+    TelemetryWriter,
+    read_events,
+    replay_log_collection,
+    replay_sessions,
+    session_event,
+    session_from_payload,
+    session_payload,
+)
+
+__all__ = [
+    "BatchedExitPredictor",
+    "BatchedMonteCarloEvaluator",
+    "FleetCheckpoint",
+    "checkpoint_controllers",
+    "load_fleet_checkpoint",
+    "restore_controllers",
+    "save_checkpoint_states",
+    "save_fleet_checkpoint",
+    "FleetConfig",
+    "FleetMetrics",
+    "FleetOrchestrator",
+    "FleetResult",
+    "HybFleetFactory",
+    "LingXiFleetFactory",
+    "ShardOutput",
+    "ShardTask",
+    "fleet_metrics",
+    "run_fleet_day",
+    "write_fleet_telemetry",
+    "DeviceMixScenario",
+    "FlashCrowdScenario",
+    "RegionalDegradationScenario",
+    "Scenario",
+    "SteadyStateScenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "TelemetryEvent",
+    "TelemetryWriter",
+    "read_events",
+    "replay_log_collection",
+    "replay_sessions",
+    "session_event",
+    "session_from_payload",
+    "session_payload",
+]

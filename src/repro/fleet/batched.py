@@ -1,0 +1,253 @@
+"""Batched exit-rate inference for the Monte-Carlo hot path.
+
+The sequential :class:`~repro.core.monte_carlo.MonteCarloEvaluator` walks its
+``M`` virtual-playback samples one after another and calls the exit predictor
+once per simulated segment — a single-row neural-network forward pass each
+time, which is dominated by per-call numpy overhead rather than arithmetic.
+
+This module replaces that hot path with two pieces:
+
+* :class:`BatchedExitPredictor` — a thin wrapper around a trained
+  :class:`~repro.core.exit_predictor.ExitRatePredictor` exposing
+  :meth:`~BatchedExitPredictor.predict_many`: Equation 4 evaluated for ``n``
+  decision points at once, with the OS baseline vectorised and a *single*
+  NN forward pass over the stalled subset.  Outputs match the unbatched
+  ``predict`` row-for-row (to float64 round-off).
+* :class:`BatchedMonteCarloEvaluator` — a drop-in replacement for the
+  sequential evaluator (same ``evaluate`` signature, so it can be swapped into
+  a :class:`~repro.core.controller.LingXiController`) that advances all ``M``
+  samples in lockstep and batches every per-step predictor call across the
+  samples that are still alive.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.core.exit_predictor import ExitRatePredictor
+from repro.core.monte_carlo import MonteCarloConfig
+from repro.core.state import PlayerSnapshot, UserState
+from repro.core.triggers import PruningPolicy
+from repro.datasets.stall_dataset import NUM_FEATURES, WINDOW_LENGTH
+from repro.sim.player import PlayerEnvironment
+from repro.sim.session import ABRContext
+from repro.sim.video import Video
+
+
+class BatchedExitPredictor:
+    """Vectorised view of a hybrid exit-rate predictor (Equation 4, batched)."""
+
+    def __init__(self, predictor: ExitRatePredictor) -> None:
+        self.predictor = predictor
+
+    @property
+    def statistics_model(self):
+        """The wrapped predictor's OS model."""
+        return self.predictor.statistics_model
+
+    def baseline_many(
+        self, levels: np.ndarray, switch_magnitudes: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised ``OS(Quality, Smoothness)`` for ``n`` decision points."""
+        model = self.predictor.statistics_model
+        levels = np.asarray(levels, dtype=int)
+        switches = np.asarray(switch_magnitudes, dtype=int)
+        if np.any(levels < 0):
+            raise ValueError("levels must be non-negative")
+        level_rates = model.level_rates[np.minimum(levels, model.level_rates.size - 1)]
+        magnitudes = np.minimum(np.abs(switches), model.switch_offsets.size - 1)
+        offsets = model.switch_offsets[magnitudes] + np.where(
+            switches < 0, model.downward_extra, 0.0
+        )
+        return np.clip(level_rates + offsets, 0.0, 1.0)
+
+    def predict_many(
+        self,
+        feature_matrices: np.ndarray,
+        levels: np.ndarray,
+        switch_magnitudes: np.ndarray,
+        stalled: np.ndarray,
+    ) -> np.ndarray:
+        """Equation 4 for a batch: hybrid exit probability per decision point.
+
+        Parameters
+        ----------
+        feature_matrices:
+            ``(n, 5, 8)`` stack of per-sample feature matrices.  Rows whose
+            ``stalled`` flag is false are never fed to the network, so their
+            matrix content is irrelevant (zeros are fine).
+        levels / switch_magnitudes / stalled:
+            Length-``n`` vectors describing each decision point.
+        """
+        stalled = np.asarray(stalled, dtype=bool)
+        probabilities = self.baseline_many(levels, switch_magnitudes)
+        stalled_rows = np.flatnonzero(stalled)
+        if stalled_rows.size:
+            matrices = np.asarray(feature_matrices, dtype=float)
+            if matrices.ndim != 3 or matrices.shape[1:] != (NUM_FEATURES, WINDOW_LENGTH):
+                raise ValueError(
+                    f"expected (n, {NUM_FEATURES}, {WINDOW_LENGTH}) matrices, "
+                    f"got {matrices.shape}"
+                )
+            stall_probabilities = self.predictor.predict_batch(matrices[stalled_rows])[:, 1]
+            probabilities = probabilities.copy()
+            probabilities[stalled_rows] = np.clip(
+                probabilities[stalled_rows] + stall_probabilities, 0.0, 1.0
+            )
+        return probabilities
+
+    def predict(
+        self,
+        feature_matrix: np.ndarray,
+        level: int,
+        switch_magnitude: int,
+        stalled: bool,
+    ) -> float:
+        """Single-row convenience passthrough to the wrapped predictor."""
+        return self.predictor.predict(
+            feature_matrix, level=level, switch_magnitude=switch_magnitude, stalled=stalled
+        )
+
+
+class BatchedMonteCarloEvaluator:
+    """Algorithm 2 with all virtual-playback samples advanced in lockstep.
+
+    Semantically this estimates the same quantity as the sequential evaluator
+    (``R_exit = exited / watched`` over ``M`` samples of frozen-bandwidth
+    virtual playback) but restructures the loop: at every virtual segment step
+    the still-alive samples each pick a level and advance their private player
+    environment, and then *one* batched predictor call scores all of them.
+    ABR state is kept per sample via cheap deep copies, so stateful algorithms
+    behave exactly as they do in per-sample rollouts.
+
+    The ``evaluate`` signature matches
+    :class:`~repro.core.monte_carlo.MonteCarloEvaluator`, so instances drop
+    straight into ``LingXiController.evaluator``.
+    """
+
+    def __init__(
+        self,
+        predictor: BatchedExitPredictor | ExitRatePredictor,
+        config: MonteCarloConfig | None = None,
+        pruning: PruningPolicy | None = None,
+    ) -> None:
+        if not isinstance(predictor, BatchedExitPredictor):
+            predictor = BatchedExitPredictor(predictor)
+        self.predictor = predictor
+        self.config = config or MonteCarloConfig()
+        self.pruning = pruning or PruningPolicy()
+
+    def _virtual_video(self, snapshot: PlayerSnapshot) -> Video:
+        num_segments = max(
+            2, int(np.ceil(self.config.max_sample_duration_s / snapshot.segment_duration))
+        )
+        return Video(
+            ladder=snapshot.ladder,
+            num_segments=num_segments,
+            segment_duration=snapshot.segment_duration,
+            vbr_std=self.config.vbr_std,
+            seed=self.config.seed,
+        )
+
+    def evaluate(
+        self,
+        parameters: QoEParameters,
+        abr: ABRAlgorithm,
+        snapshot: PlayerSnapshot,
+        user_state: UserState,
+        rng: np.random.Generator | None = None,
+        best_exit_rate: float = float("inf"),
+    ) -> float:
+        """Estimated exit rate ``R_exit`` for ``parameters`` (batched rollout)."""
+        rng = rng or np.random.default_rng(self.config.seed)
+        saved_parameters = abr.parameters
+        abr.set_parameters(parameters)
+        video = self._virtual_video(snapshot)
+        frozen_bandwidth = snapshot.bandwidth_model
+        num_samples = self.config.num_samples
+        exited_count = 0
+        watched_count = 0
+        try:
+            abrs: list[ABRAlgorithm] = []
+            for _ in range(num_samples):
+                clone = copy.deepcopy(abr)
+                clone.reset()
+                abrs.append(clone)
+            environments = [
+                PlayerEnvironment(
+                    video=video,
+                    rtt=snapshot.rtt,
+                    initial_buffer=snapshot.buffer,
+                    base_buffer_cap=snapshot.base_buffer_cap,
+                    bandwidth_model=frozen_bandwidth.copy(),
+                )
+                for _ in range(num_samples)
+            ]
+            states = [user_state.copy() for _ in range(num_samples)]
+            throughputs = [list(state.throughputs_kbps) for state in states]
+            last_levels: list[int | None] = [snapshot.last_level] * num_samples
+            alive = np.ones(num_samples, dtype=bool)
+
+            num_steps = int(
+                np.ceil(self.config.max_sample_duration_s / snapshot.segment_duration)
+            )
+            for _step in range(num_steps):
+                indices = np.flatnonzero(alive)
+                if indices.size == 0:
+                    break
+                bandwidths = np.atleast_1d(
+                    frozen_bandwidth.sample(rng, size=indices.size)
+                )
+                levels = np.empty(indices.size, dtype=int)
+                switches = np.empty(indices.size, dtype=int)
+                stalled = np.empty(indices.size, dtype=bool)
+                features = np.zeros((indices.size, NUM_FEATURES, WINDOW_LENGTH))
+                for j, i in enumerate(indices):
+                    environment = environments[i]
+                    context = ABRContext(
+                        segment_index=environment.segment_index,
+                        buffer=environment.buffer,
+                        buffer_cap=environment.buffer_cap,
+                        last_level=last_levels[i],
+                        throughput_history_kbps=tuple(throughputs[i][-8:]),
+                        next_segment_sizes_kbit=tuple(
+                            video.sizes_for_segment(environment.segment_index)
+                        ),
+                        ladder=snapshot.ladder,
+                        segment_duration=snapshot.segment_duration,
+                        bandwidth_mean_kbps=frozen_bandwidth.mean,
+                        bandwidth_std_kbps=frozen_bandwidth.std,
+                    )
+                    level = int(abrs[i].select_level(context))
+                    result = environment.step(level, float(bandwidths[j]))
+                    states[i].observe_segment(
+                        bitrate_kbps=result.bitrate_kbps,
+                        throughput_kbps=result.throughput_kbps,
+                        stall_time=result.stall_time,
+                        segment_duration=snapshot.segment_duration,
+                    )
+                    throughputs[i].append(result.throughput_kbps)
+                    levels[j] = level
+                    switches[j] = 0 if last_levels[i] is None else level - last_levels[i]
+                    stalled[j] = result.stall_time > 1e-12
+                    if stalled[j]:
+                        features[j] = states[i].feature_matrix()
+                    last_levels[i] = level
+
+                probabilities = self.predictor.predict_many(
+                    features, levels, switches, stalled
+                )
+                exits = rng.random(indices.size) < probabilities
+                watched_count += int(indices.size)
+                exited_count += int(np.count_nonzero(exits))
+                alive[indices[exits]] = False
+                if self.pruning.abort_candidate(exited_count, watched_count, best_exit_rate):
+                    return exited_count / watched_count
+        finally:
+            abr.set_parameters(saved_parameters)
+        if watched_count == 0:
+            return 1.0
+        return exited_count / watched_count

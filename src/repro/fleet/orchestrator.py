@@ -1,0 +1,466 @@
+"""Sharded multi-user fleet orchestration.
+
+:class:`FleetOrchestrator` turns the single-session engine into a platform
+simulator: a :class:`~repro.users.population.UserPopulation` is split into
+``num_shards`` deterministic shards, each shard simulates all of its users'
+sessions for one simulated day (scenario-shaped traffic, per-user ABR state,
+per-user exit behaviour), and the shards run concurrently on a
+``multiprocessing`` pool.  Results come back in shard order, so fleet metrics
+are identical for a given ``(seed, num_shards)`` no matter how many worker
+processes execute the shards — including zero (inline execution).
+
+Determinism contract
+--------------------
+* Sharding is round-robin by population index (``UserPopulation.shards``).
+* Shard ``i`` draws all of its randomness from child ``i`` of
+  ``numpy.random.SeedSequence(seed)``.
+* Per-user controller seeds are drawn from the shard stream in user order.
+
+ABR factories
+-------------
+Worker processes need picklable factories, so the fleet defines its own
+two-argument protocol ``factory(profile, seed) -> ABRAlgorithm`` with two
+implementations: :class:`HybFleetFactory` (the production baseline) and
+:class:`LingXiFleetFactory` (per-user LingXi controllers whose Monte-Carlo
+evaluator is swapped for the batched lockstep one of
+:mod:`repro.fleet.batched`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.abr.hyb import HYB
+from repro.analytics.logs import LogCollection, SessionLog
+from repro.core.controller import ControllerConfig, LingXiABR, LingXiController
+from repro.core.exit_predictor import ExitRatePredictor
+from repro.core.monte_carlo import MonteCarloConfig
+from repro.core.parameter_space import ParameterSpace
+from repro.core.persistence import controller_state_payload, restore_controller_state
+from repro.core.triggers import TriggerPolicy
+from repro.fleet.batched import BatchedMonteCarloEvaluator
+from repro.fleet.scenarios import Scenario, get_scenario
+from repro.fleet.telemetry import TelemetryEvent, TelemetryWriter, session_event
+from repro.sim.session import PlaybackSession, SessionConfig
+from repro.sim.video import VideoLibrary
+from repro.users.population import UserPopulation, UserProfile
+
+
+class HybFleetFactory:
+    """Picklable per-user factory for the HYB production baseline."""
+
+    def __init__(self, parameters: QoEParameters | None = None) -> None:
+        self.parameters = parameters or QoEParameters()
+
+    def __call__(self, profile: UserProfile, seed: int) -> ABRAlgorithm:
+        """Fresh HYB instance for one user."""
+        return HYB(parameters=self.parameters)
+
+
+class LingXiFleetFactory:
+    """Picklable per-user factory building LingXi-wrapped HYB controllers.
+
+    Each user gets their own :class:`LingXiController` whose sequential
+    Monte-Carlo evaluator is replaced by the batched lockstep evaluator, so
+    candidate scoring inside a shard batches its NN inference.
+    """
+
+    def __init__(
+        self,
+        predictor: ExitRatePredictor,
+        parameter_space: ParameterSpace | None = None,
+        monte_carlo: MonteCarloConfig | None = None,
+        controller_config: ControllerConfig | None = None,
+        trigger: TriggerPolicy | None = None,
+        baseline_parameters: QoEParameters | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.parameter_space = parameter_space or ParameterSpace.for_hyb()
+        self.monte_carlo = monte_carlo or MonteCarloConfig(num_samples=3)
+        self.controller_config = controller_config or ControllerConfig(max_sample_times=3)
+        self.trigger = trigger or TriggerPolicy()
+        self.baseline_parameters = baseline_parameters or QoEParameters()
+
+    def __call__(self, profile: UserProfile, seed: int) -> ABRAlgorithm:
+        """Fresh LingXi(HYB) instance for one user."""
+        controller = LingXiController(
+            parameter_space=self.parameter_space,
+            predictor=self.predictor,
+            monte_carlo=self.monte_carlo,
+            trigger=self.trigger,
+            config=replace(self.controller_config, seed=seed),
+        )
+        controller.evaluator = BatchedMonteCarloEvaluator(
+            self.predictor, config=self.monte_carlo, pruning=controller.pruning
+        )
+        return LingXiABR(HYB(parameters=self.baseline_parameters), controller)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs of one fleet run."""
+
+    num_shards: int = 4
+    #: Worker processes for the pool; ``None`` → ``min(num_shards, cpu)``,
+    #: ``0`` or ``1`` → run shards inline (no pool).
+    num_workers: int | None = None
+    #: Override of every user's sessions-per-day (scenario multipliers still
+    #: apply on top); ``None`` keeps each profile's own activity level.
+    sessions_per_user: int | None = None
+    trace_length: int = 120
+    seed: int = 0
+    day: int = 0
+    session_config: SessionConfig = field(default_factory=SessionConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        if self.num_workers is not None and self.num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if self.sessions_per_user is not None and self.sessions_per_user <= 0:
+            raise ValueError("sessions_per_user must be positive")
+        if self.trace_length <= 0:
+            raise ValueError("trace_length must be positive")
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """Everything one worker needs to simulate one shard (picklable)."""
+
+    run_id: str
+    shard_index: int
+    seed_seq: np.random.SeedSequence
+    profiles: tuple[UserProfile, ...]
+    scenario: Scenario
+    library: VideoLibrary
+    abr_factory: Callable[[UserProfile, int], ABRAlgorithm]
+    sessions_per_user: int | None
+    trace_length: int
+    day: int
+    session_config: SessionConfig
+    controller_states: dict[str, dict] = field(default_factory=dict)
+
+
+@dataclass
+class ShardOutput:
+    """What one shard hands back to the orchestrator."""
+
+    shard_index: int
+    sessions: list[SessionLog]
+    controller_states: dict[str, dict]
+    num_segments: int
+    wall_time_s: float
+
+
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Deterministic fleet-level aggregates (no wall-clock terms)."""
+
+    num_sessions: int
+    num_segments: int
+    exited_sessions: int
+    segment_exits: int
+    total_watch_time_s: float
+    total_stall_time_s: float
+    mean_bitrate_kbps: float
+
+    @property
+    def session_exit_rate(self) -> float:
+        """Fraction of sessions abandoned before the video ended."""
+        return self.exited_sessions / self.num_sessions if self.num_sessions else 0.0
+
+    @property
+    def segment_exit_rate(self) -> float:
+        """Exit probability per watched segment."""
+        return self.segment_exits / self.num_segments if self.num_segments else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (telemetry payload)."""
+        return {
+            "num_sessions": self.num_sessions,
+            "num_segments": self.num_segments,
+            "exited_sessions": self.exited_sessions,
+            "segment_exits": self.segment_exits,
+            "total_watch_time_s": self.total_watch_time_s,
+            "total_stall_time_s": self.total_stall_time_s,
+            "mean_bitrate_kbps": self.mean_bitrate_kbps,
+            "session_exit_rate": self.session_exit_rate,
+            "segment_exit_rate": self.segment_exit_rate,
+        }
+
+
+@dataclass
+class FleetResult:
+    """Merged output of one fleet run."""
+
+    run_id: str
+    config: FleetConfig
+    scenario_name: str
+    logs: LogCollection
+    shard_outputs: list[ShardOutput]
+    controller_states: dict[str, dict]
+    wall_time_s: float
+    telemetry_path: Path | None = None
+
+    @property
+    def metrics(self) -> FleetMetrics:
+        """Deterministic fleet-level aggregates over all shards."""
+        return fleet_metrics(self.logs)
+
+    @property
+    def sessions_per_second(self) -> float:
+        """Throughput of the run (sessions / wall-clock second)."""
+        if self.wall_time_s <= 0:
+            return float("inf")
+        return len(self.logs) / self.wall_time_s
+
+
+def fleet_metrics(logs: LogCollection) -> FleetMetrics:
+    """Compute :class:`FleetMetrics` from a log collection."""
+    num_segments = 0
+    segment_exits = 0
+    exited_sessions = 0
+    watch_time = 0.0
+    stall_time = 0.0
+    bitrate_sum = 0.0
+    for session in logs:
+        trace = session.trace
+        num_segments += len(trace)
+        segment_exits += int(trace.exited_flags.sum())
+        exited_sessions += int(trace.exited_early)
+        watch_time += trace.watch_time
+        stall_time += trace.total_stall_time
+        bitrate_sum += float(trace.bitrates_kbps.sum())
+    return FleetMetrics(
+        num_sessions=len(logs),
+        num_segments=num_segments,
+        exited_sessions=exited_sessions,
+        segment_exits=segment_exits,
+        total_watch_time_s=watch_time,
+        total_stall_time_s=stall_time,
+        mean_bitrate_kbps=bitrate_sum / num_segments if num_segments else 0.0,
+    )
+
+
+def _run_shard(task: ShardTask) -> ShardOutput:
+    """Simulate one shard: every user's sessions for one simulated day.
+
+    Module-level so it pickles for the process pool; also called inline when
+    the pool is disabled.
+    """
+    start = time.perf_counter()
+    rng = np.random.default_rng(task.seed_seq)
+    engine = PlaybackSession(task.session_config)
+    sessions: list[SessionLog] = []
+    controller_states: dict[str, dict] = {}
+    num_segments = 0
+
+    for profile in task.profiles:
+        abr_seed = int(rng.integers(2**31 - 1))
+        abr = task.abr_factory(profile, abr_seed)
+        controller = getattr(abr, "controller", None)
+        if controller is not None and profile.user_id in task.controller_states:
+            restore_controller_state(controller, task.controller_states[profile.user_id])
+        exit_model = profile.exit_model()
+        scenario_profile = (
+            replace(profile, sessions_per_day=task.sessions_per_user)
+            if task.sessions_per_user is not None
+            else profile
+        )
+        num_sessions = task.scenario.sessions_for(scenario_profile, rng)
+        trace = task.scenario.trace_for(profile, rng, task.trace_length)
+        for session_index in range(num_sessions):
+            video = task.scenario.video_for(profile, task.library, rng)
+            playback = engine.run(
+                abr,
+                video,
+                trace,
+                exit_model=exit_model,
+                rng=rng,
+                user_id=profile.user_id,
+            )
+            num_segments += len(playback)
+            sessions.append(
+                SessionLog(
+                    user_id=profile.user_id,
+                    day=task.day,
+                    session_index=session_index,
+                    trace=playback,
+                    mean_bandwidth_kbps=profile.mean_bandwidth_kbps,
+                )
+            )
+        if controller is not None:
+            controller_states[profile.user_id] = controller_state_payload(controller)
+
+    return ShardOutput(
+        shard_index=task.shard_index,
+        sessions=sessions,
+        controller_states=controller_states,
+        num_segments=num_segments,
+        wall_time_s=time.perf_counter() - start,
+    )
+
+
+class FleetOrchestrator:
+    """Shard a population, fan the shards out on a pool, merge the results."""
+
+    def __init__(self, config: FleetConfig | None = None) -> None:
+        self.config = config or FleetConfig()
+
+    def _resolve_workers(self) -> int:
+        if self.config.num_workers is not None:
+            return self.config.num_workers
+        return min(self.config.num_shards, os.cpu_count() or 1)
+
+    def run(
+        self,
+        population: UserPopulation,
+        library: VideoLibrary,
+        scenario: str | Scenario | None = None,
+        abr_factory: Callable[[UserProfile, int], ABRAlgorithm] | None = None,
+        telemetry_path: str | Path | None = None,
+        controller_states: dict[str, dict] | None = None,
+        run_id: str | None = None,
+    ) -> FleetResult:
+        """Simulate one day of fleet traffic.
+
+        ``controller_states`` (user id → payload, e.g. from a previous run's
+        :attr:`FleetResult.controller_states` or a saved checkpoint) restores
+        per-user LingXi long-term state before the day starts.
+        """
+        config = self.config
+        scenario = get_scenario(scenario)
+        abr_factory = abr_factory or HybFleetFactory()
+        run_id = run_id or f"fleet-{config.seed:08d}-s{config.num_shards}-d{config.day}"
+        states = controller_states or {}
+
+        shard_profiles = population.shards(config.num_shards)
+        seed_children = np.random.SeedSequence(config.seed).spawn(config.num_shards)
+        tasks = [
+            ShardTask(
+                run_id=run_id,
+                shard_index=index,
+                seed_seq=seed_children[index],
+                profiles=tuple(profiles),
+                scenario=scenario,
+                library=library,
+                abr_factory=abr_factory,
+                sessions_per_user=config.sessions_per_user,
+                trace_length=config.trace_length,
+                day=config.day,
+                session_config=config.session_config,
+                controller_states={
+                    p.user_id: states[p.user_id] for p in profiles if p.user_id in states
+                },
+            )
+            for index, profiles in enumerate(shard_profiles)
+            if profiles
+        ]
+
+        workers = self._resolve_workers()
+        start = time.perf_counter()
+        if workers <= 1 or len(tasks) <= 1:
+            outputs = [_run_shard(task) for task in tasks]
+        else:
+            with multiprocessing.get_context().Pool(processes=workers) as pool:
+                outputs = pool.map(_run_shard, tasks)
+        wall_time = time.perf_counter() - start
+
+        outputs.sort(key=lambda output: output.shard_index)
+        sessions: list[SessionLog] = []
+        merged_states: dict[str, dict] = {}
+        for output in outputs:
+            sessions.extend(output.sessions)
+            merged_states.update(output.controller_states)
+        if not sessions:
+            raise ValueError("fleet run produced no sessions")
+        logs = LogCollection(sessions)
+
+        result = FleetResult(
+            run_id=run_id,
+            config=config,
+            scenario_name=scenario.name,
+            logs=logs,
+            shard_outputs=outputs,
+            controller_states=merged_states,
+            wall_time_s=wall_time,
+            telemetry_path=Path(telemetry_path) if telemetry_path is not None else None,
+        )
+        if telemetry_path is not None:
+            write_fleet_telemetry(result, telemetry_path)
+        return result
+
+
+def write_fleet_telemetry(result: FleetResult, path: str | Path) -> Path:
+    """Emit the full JSONL telemetry stream of a fleet run to ``path``."""
+    path = Path(path)
+    with TelemetryWriter(path) as writer:
+        writer.emit(
+            TelemetryEvent(
+                run_id=result.run_id,
+                shard=-1,
+                user_id="",
+                event="run_start",
+                payload={
+                    "scenario": result.scenario_name,
+                    "num_shards": result.config.num_shards,
+                    "seed": result.config.seed,
+                    "day": result.config.day,
+                    "num_users_with_state": len(result.controller_states),
+                },
+            )
+        )
+        for output in result.shard_outputs:
+            for log in output.sessions:
+                writer.emit(session_event(result.run_id, output.shard_index, log))
+            writer.emit(
+                TelemetryEvent(
+                    run_id=result.run_id,
+                    shard=output.shard_index,
+                    user_id="",
+                    event="shard_summary",
+                    payload={
+                        "num_sessions": len(output.sessions),
+                        "num_segments": output.num_segments,
+                        "wall_time_s": output.wall_time_s,
+                    },
+                )
+            )
+        writer.emit(
+            TelemetryEvent(
+                run_id=result.run_id,
+                shard=-1,
+                user_id="",
+                event="run_end",
+                payload=result.metrics.as_dict(),
+            )
+        )
+    return path
+
+
+def run_fleet_day(
+    population: UserPopulation,
+    library: VideoLibrary,
+    config: FleetConfig | None = None,
+    scenario: str | Scenario | None = None,
+    abr_factory: Callable[[UserProfile, int], ABRAlgorithm] | None = None,
+    telemetry_path: str | Path | None = None,
+    controller_states: dict[str, dict] | None = None,
+) -> FleetResult:
+    """Convenience one-call wrapper around :class:`FleetOrchestrator`."""
+    return FleetOrchestrator(config).run(
+        population,
+        library,
+        scenario=scenario,
+        abr_factory=abr_factory,
+        telemetry_path=telemetry_path,
+        controller_states=controller_states,
+    )

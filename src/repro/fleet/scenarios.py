@@ -1,0 +1,232 @@
+"""Workload scenarios for fleet runs.
+
+A :class:`Scenario` tells the orchestrator how a simulated day of traffic
+looks for each user: how many sessions they play, what their network looks
+like while they play, and what catalogue their device pulls videos from.
+Scenarios are plain picklable objects so they travel to worker processes
+unchanged, and all randomness flows through the per-shard RNG the orchestrator
+hands in — the same seed always produces the same traffic.
+
+Four workloads ship built-in (the registry is open for more):
+
+``steady_state``
+    Every user behaves exactly like their profile says — the baseline.
+``flash_crowd``
+    A platform-wide event multiplies per-user session counts while CDN
+    congestion scales everyone's bandwidth down.
+``regional_degradation``
+    A deterministic fraction of users (a "region") sees their network degraded
+    to a fraction of its mean and turned bursty (Markov-modulated), as in an
+    access-network outage.
+``device_mix``
+    Heterogeneous devices: mobile users get a truncated low-rung ladder and
+    short videos, TV users get the full ladder and long videos.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.bandwidth import BandwidthTrace, MarkovTraceGenerator
+from repro.sim.video import BitrateLadder, Video, VideoLibrary
+from repro.users.population import UserProfile
+
+
+def stable_fraction(user_id: str, salt: str = "") -> float:
+    """Deterministic pseudo-uniform value in [0, 1) derived from a user id.
+
+    Unlike ``hash()`` this is stable across processes and Python runs, so the
+    same users land in the same scenario cohort in every shard and worker.
+    """
+    digest = hashlib.md5(
+        f"{salt}:{user_id}".encode(), usedforsecurity=False
+    ).hexdigest()
+    return int(digest[:8], 16) / float(0x100000000)
+
+
+class Scenario:
+    """Baseline workload: users follow their own profiles (steady state)."""
+
+    name = "steady_state"
+    description = "every user plays their profile's sessions on their own network"
+
+    def sessions_for(self, profile: UserProfile, rng: np.random.Generator) -> int:
+        """Number of sessions this user plays today."""
+        return profile.sessions_per_day
+
+    def trace_for(
+        self, profile: UserProfile, rng: np.random.Generator, length: int
+    ) -> BandwidthTrace:
+        """Bandwidth trace the user's sessions run over today."""
+        return profile.bandwidth_trace(length, rng)
+
+    def video_for(
+        self, profile: UserProfile, library: VideoLibrary, rng: np.random.Generator
+    ) -> Video:
+        """Video the user plays next."""
+        return library.sample(rng)
+
+
+class SteadyStateScenario(Scenario):
+    """Alias of the baseline for registry symmetry."""
+
+
+class FlashCrowdScenario(Scenario):
+    """Platform-wide event: everyone watches more while the CDN saturates."""
+
+    name = "flash_crowd"
+    description = "session counts multiplied, bandwidth scaled down by congestion"
+
+    def __init__(self, session_multiplier: float = 3.0, congestion_factor: float = 0.55) -> None:
+        if session_multiplier < 1.0:
+            raise ValueError("session_multiplier must be at least 1")
+        if not 0 < congestion_factor <= 1.0:
+            raise ValueError("congestion_factor must be in (0, 1]")
+        self.session_multiplier = session_multiplier
+        self.congestion_factor = congestion_factor
+
+    def sessions_for(self, profile: UserProfile, rng: np.random.Generator) -> int:
+        return max(1, int(round(profile.sessions_per_day * self.session_multiplier)))
+
+    def trace_for(
+        self, profile: UserProfile, rng: np.random.Generator, length: int
+    ) -> BandwidthTrace:
+        trace = profile.bandwidth_trace(length, rng)
+        return trace.scaled(self.congestion_factor, name=f"{trace.name}_crowd")
+
+
+class RegionalDegradationScenario(Scenario):
+    """A fixed cohort of users sits behind a degraded, bursty access network."""
+
+    name = "regional_degradation"
+    description = "a deterministic user cohort gets degraded bursty bandwidth"
+
+    def __init__(
+        self,
+        affected_fraction: float = 0.3,
+        degradation_factor: float = 0.3,
+        salt: str = "region",
+    ) -> None:
+        if not 0 <= affected_fraction <= 1:
+            raise ValueError("affected_fraction must be in [0, 1]")
+        if not 0 < degradation_factor <= 1:
+            raise ValueError("degradation_factor must be in (0, 1]")
+        self.affected_fraction = affected_fraction
+        self.degradation_factor = degradation_factor
+        self.salt = salt
+
+    def is_affected(self, profile: UserProfile) -> bool:
+        """True when the user belongs to the degraded region."""
+        return stable_fraction(profile.user_id, self.salt) < self.affected_fraction
+
+    def trace_for(
+        self, profile: UserProfile, rng: np.random.Generator, length: int
+    ) -> BandwidthTrace:
+        if not self.is_affected(profile):
+            return profile.bandwidth_trace(length, rng)
+        degraded_mean = max(profile.mean_bandwidth_kbps * self.degradation_factor, 50.0)
+        generator = MarkovTraceGenerator(
+            good_mean_kbps=degraded_mean * 1.2,
+            bad_mean_kbps=max(degraded_mean * 0.3, 30.0),
+            good_std_kbps=degraded_mean * 0.3,
+            bad_std_kbps=degraded_mean * 0.15,
+            p_good_to_bad=0.25,
+            p_bad_to_good=0.2,
+        )
+        return generator.generate(length, rng, name=f"{profile.user_id}_degraded")
+
+
+class DeviceMixScenario(Scenario):
+    """Heterogeneous device/ladder mix: mobile, desktop and TV catalogues."""
+
+    name = "device_mix"
+    description = "users split across mobile/desktop/TV ladders and video lengths"
+
+    DEVICE_CLASSES: tuple[str, ...] = ("mobile", "desktop", "tv")
+
+    def __init__(
+        self,
+        ladder: BitrateLadder | None = None,
+        mobile_fraction: float = 0.5,
+        tv_fraction: float = 0.2,
+        num_videos: int = 8,
+        seed: int = 0,
+        salt: str = "device",
+    ) -> None:
+        if mobile_fraction < 0 or tv_fraction < 0 or mobile_fraction + tv_fraction > 1:
+            raise ValueError("device fractions must be non-negative and sum to <= 1")
+        base = ladder or BitrateLadder()
+        self.mobile_fraction = mobile_fraction
+        self.tv_fraction = tv_fraction
+        self.salt = salt
+        mobile_ladder = BitrateLadder(
+            bitrates_kbps=base.bitrates_kbps[: max(2, base.num_levels - 1)]
+        )
+        self.libraries: dict[str, VideoLibrary] = {
+            "mobile": VideoLibrary(
+                ladder=mobile_ladder, num_videos=num_videos, mean_duration=30.0,
+                std_duration=10.0, seed=seed + 11,
+            ),
+            "desktop": VideoLibrary(
+                ladder=base, num_videos=num_videos, mean_duration=60.0,
+                std_duration=20.0, seed=seed + 12,
+            ),
+            "tv": VideoLibrary(
+                ladder=base, num_videos=num_videos, mean_duration=120.0,
+                std_duration=30.0, seed=seed + 13,
+            ),
+        }
+
+    def device_for(self, profile: UserProfile) -> str:
+        """Deterministic device class of a user."""
+        draw = stable_fraction(profile.user_id, self.salt)
+        if draw < self.mobile_fraction:
+            return "mobile"
+        if draw < self.mobile_fraction + self.tv_fraction:
+            return "tv"
+        return "desktop"
+
+    def video_for(
+        self, profile: UserProfile, library: VideoLibrary, rng: np.random.Generator
+    ) -> Video:
+        return self.libraries[self.device_for(profile)].sample(rng)
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, Callable[[], Scenario]] = {}
+
+
+def register_scenario(name: str, factory: Callable[[], Scenario]) -> None:
+    """Register a scenario factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def available_scenarios() -> list[str]:
+    """Registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_scenario(scenario: str | Scenario | None) -> Scenario:
+    """Resolve a scenario name (or pass an instance through, or default)."""
+    if scenario is None:
+        return SteadyStateScenario()
+    if isinstance(scenario, Scenario):
+        return scenario
+    try:
+        factory = _REGISTRY[scenario]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {scenario!r}; available: {available_scenarios()}"
+        ) from None
+    return factory()
+
+
+register_scenario("steady_state", SteadyStateScenario)
+register_scenario("flash_crowd", FlashCrowdScenario)
+register_scenario("regional_degradation", RegionalDegradationScenario)
+register_scenario("device_mix", DeviceMixScenario)

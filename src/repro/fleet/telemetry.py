@@ -1,0 +1,201 @@
+"""Structured JSONL telemetry for fleet runs.
+
+Every line of a telemetry file is one event record::
+
+    {"run_id": ..., "shard": ..., "user_id": ..., "event": ..., "payload": {...}}
+
+following the structured-trace-log convention of large-scale simulators: one
+event per line, self-describing and replayable.  A writer owns one run's file
+(opening a path truncates it), and events are only ever appended during the
+run.  Event types emitted by the orchestrator:
+
+``run_start``
+    One per run; payload carries the fleet configuration summary.
+``session``
+    One per playback session; payload carries the full session log (per-segment
+    records included) so a telemetry file can be replayed into a
+    :class:`~repro.analytics.logs.LogCollection` that is *exactly* equal to the
+    in-memory one — floats survive the JSON roundtrip bit-for-bit.
+``shard_summary``
+    One per shard; payload carries the shard's session/segment counters.
+``run_end``
+    One per run; payload carries the fleet-level metrics.
+
+The replay/loader API (:func:`read_events`, :func:`replay_log_collection`)
+feeds the existing analytics layer, so every §2-style aggregation works on a
+telemetry file exactly as it does on live simulation output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.analytics.logs import LogCollection, SessionLog
+from repro.sim.session import PlaybackTrace, SegmentRecord
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured telemetry record."""
+
+    run_id: str
+    shard: int
+    user_id: str
+    event: str
+    payload: dict
+
+    def to_json(self) -> str:
+        """Single-line JSON form of the event."""
+        return json.dumps(
+            {
+                "run_id": self.run_id,
+                "shard": self.shard,
+                "user_id": self.user_id,
+                "event": self.event,
+                "payload": self.payload,
+            },
+            default=_to_builtin,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TelemetryEvent":
+        """Parse one JSONL line."""
+        raw = json.loads(line)
+        return cls(
+            run_id=str(raw["run_id"]),
+            shard=int(raw["shard"]),
+            user_id=str(raw["user_id"]),
+            event=str(raw["event"]),
+            payload=dict(raw.get("payload", {})),
+        )
+
+
+def _to_builtin(value):
+    """JSON fallback for numpy scalars/arrays."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value)!r}")
+
+
+class TelemetryWriter:
+    """JSONL event writer for one run (usable as a context manager).
+
+    Opening a path truncates it — one telemetry file describes exactly one
+    run, which is what keeps :func:`replay_log_collection` equal to the live
+    run's collection.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w")
+        self.events_written = 0
+
+    def emit(self, event: TelemetryEvent) -> None:
+        """Write one event as a JSON line."""
+        self._handle.write(event.to_json())
+        self._handle.write("\n")
+        self.events_written += 1
+
+    def emit_many(self, events: Iterable[TelemetryEvent]) -> None:
+        """Write several events in order."""
+        for event in events:
+            self.emit(event)
+
+    def close(self) -> None:
+        """Flush and close the file."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "TelemetryWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_events(path: str | Path) -> Iterator[TelemetryEvent]:
+    """Stream the events of a telemetry JSONL file in order."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield TelemetryEvent.from_json(line)
+
+
+# --------------------------------------------------------------------------- #
+# Session (de)serialisation
+# --------------------------------------------------------------------------- #
+def session_payload(log: SessionLog) -> dict:
+    """Full JSON payload of one session log (replayable without loss)."""
+    trace = log.trace
+    return {
+        "day": int(log.day),
+        "session_index": int(log.session_index),
+        "mean_bandwidth_kbps": float(log.mean_bandwidth_kbps),
+        "video_duration": float(trace.video_duration),
+        "segment_duration": float(trace.segment_duration),
+        "trace_name": str(trace.trace_name),
+        "exited_early": bool(trace.exited_early),
+        "records": [asdict(record) for record in trace.records],
+    }
+
+
+def session_from_payload(user_id: str, payload: dict) -> SessionLog:
+    """Inverse of :func:`session_payload`."""
+    trace = PlaybackTrace(
+        user_id=user_id,
+        video_duration=float(payload["video_duration"]),
+        segment_duration=float(payload["segment_duration"]),
+        trace_name=str(payload["trace_name"]),
+        records=[SegmentRecord(**raw) for raw in payload["records"]],
+        exited_early=bool(payload["exited_early"]),
+    )
+    return SessionLog(
+        user_id=user_id,
+        day=int(payload["day"]),
+        session_index=int(payload["session_index"]),
+        trace=trace,
+        mean_bandwidth_kbps=float(payload["mean_bandwidth_kbps"]),
+    )
+
+
+def session_event(run_id: str, shard: int, log: SessionLog) -> TelemetryEvent:
+    """Build the ``session`` event for one session log."""
+    return TelemetryEvent(
+        run_id=run_id,
+        shard=shard,
+        user_id=log.user_id,
+        event="session",
+        payload=session_payload(log),
+    )
+
+
+def replay_sessions(events: Iterable[TelemetryEvent]) -> list[SessionLog]:
+    """Reconstruct the session logs recorded in a stream of events."""
+    return [
+        session_from_payload(event.user_id, event.payload)
+        for event in events
+        if event.event == "session"
+    ]
+
+
+def replay_log_collection(path: str | Path) -> LogCollection:
+    """Load a telemetry file back into a :class:`LogCollection`.
+
+    The result is value-equal to the live run's collection: every float in a
+    segment record survives the JSON write→read roundtrip exactly, so all
+    aggregations (exit rate by stall bin, watch time by QoS, …) match the
+    in-memory ones bit-for-bit.
+    """
+    sessions = replay_sessions(read_events(path))
+    if not sessions:
+        raise ValueError(f"no session events found in {path}")
+    return LogCollection(sessions)

@@ -40,6 +40,12 @@ class BandwidthModel:
     prior_mean_kbps: float = 3000.0
     prior_std_kbps: float = 1000.0
     _samples: list[float] = field(default_factory=list, repr=False)
+    #: Memoised mean/std — ``mean``/``std`` are read several times per
+    #: simulated segment (buffer-cap rule, ABR context, Equation 3 sampling)
+    #: between updates, so the window statistics are computed once per update
+    #: instead of once per access.
+    _cached_mean: float | None = field(default=None, repr=False, compare=False)
+    _cached_std: float | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.window <= 0:
@@ -54,6 +60,8 @@ class BandwidthModel:
         self._samples.append(float(throughput_kbps))
         if len(self._samples) > self.window:
             del self._samples[: len(self._samples) - self.window]
+        self._cached_mean = None
+        self._cached_std = None
 
     def extend(self, throughputs_kbps: Iterable[float]) -> None:
         """Record several observations at once."""
@@ -70,14 +78,18 @@ class BandwidthModel:
         """``mu_Cpast`` (kbps)."""
         if not self._samples:
             return self.prior_mean_kbps
-        return float(np.mean(self._samples))
+        if self._cached_mean is None:
+            self._cached_mean = float(np.mean(self._samples))
+        return self._cached_mean
 
     @property
     def std(self) -> float:
         """``sigma_Cpast`` (kbps)."""
         if len(self._samples) < 2:
             return self.prior_std_kbps
-        return float(max(np.std(self._samples, ddof=1), 1e-6))
+        if self._cached_std is None:
+            self._cached_std = float(max(np.std(self._samples, ddof=1), 1e-6))
+        return self._cached_std
 
     def sample(self, rng: np.random.Generator, size: int | None = None):
         """Sample future bandwidth ``C_k ~ N(mu, sigma^2)`` (kbps, clipped > 0)."""

@@ -118,6 +118,10 @@ class SegmentRecord:
     exited: bool
 
 
+#: Column layout of the cached per-record array of :class:`PlaybackTrace`.
+_COL_STALL, _COL_BITRATE, _COL_LEVEL, _COL_CUM_STALL, _COL_EXITED = range(5)
+
+
 @dataclass
 class PlaybackTrace:
     """Full record of one playback session."""
@@ -128,9 +132,38 @@ class PlaybackTrace:
     trace_name: str = ""
     records: list[SegmentRecord] = field(default_factory=list)
     exited_early: bool = False
+    #: Lazily built (n, 5) array of per-record aggregates; rebuilt whenever the
+    #: number of records changes (records are append-only in practice).
+    _record_cache: np.ndarray | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.records)
+
+    def record_array(self) -> np.ndarray:
+        """Cached (n, 5) array: stall time, bitrate, level, cumulative stall, exited.
+
+        The aggregate properties below (and the analytics inner loops) all read
+        from this single array instead of rebuilding Python lists per access.
+        The cache is invalidated by length, which covers the append-only way
+        the session engine grows a trace.
+        """
+        if self._record_cache is None or self._record_cache.shape[0] != len(self.records):
+            self._record_cache = np.asarray(
+                [
+                    (
+                        r.stall_time,
+                        r.bitrate_kbps,
+                        float(r.level),
+                        r.cumulative_stall_time,
+                        float(r.exited),
+                    )
+                    for r in self.records
+                ],
+                dtype=float,
+            ).reshape(len(self.records), 5)
+        return self._record_cache
 
     @property
     def watch_time(self) -> float:
@@ -152,34 +185,34 @@ class PlaybackTrace:
     @property
     def total_stall_time(self) -> float:
         """Total stall time (seconds)."""
-        return sum(r.stall_time for r in self.records)
+        return float(np.sum(self.record_array()[:, _COL_STALL]))
 
     @property
     def stall_count(self) -> int:
         """Number of stall events."""
-        return sum(1 for r in self.records if r.stall_time > 1e-12)
+        return int(np.count_nonzero(self.record_array()[:, _COL_STALL] > 1e-12))
 
     @property
     def mean_bitrate_kbps(self) -> float:
         """Mean selected bitrate (kbps), 0 for an empty trace."""
         if not self.records:
             return 0.0
-        return float(np.mean([r.bitrate_kbps for r in self.records]))
+        return float(np.mean(self.record_array()[:, _COL_BITRATE]))
 
     @property
     def bitrates_kbps(self) -> np.ndarray:
         """Vector of selected bitrates."""
-        return np.asarray([r.bitrate_kbps for r in self.records], dtype=float)
+        return self.record_array()[:, _COL_BITRATE].copy()
 
     @property
     def levels(self) -> np.ndarray:
         """Vector of selected ladder levels."""
-        return np.asarray([r.level for r in self.records], dtype=int)
+        return self.record_array()[:, _COL_LEVEL].astype(int)
 
     @property
     def num_switches(self) -> int:
         """Number of quality switches."""
-        levels = self.levels
+        levels = self.record_array()[:, _COL_LEVEL]
         if levels.size < 2:
             return 0
         return int(np.count_nonzero(np.diff(levels)))
@@ -187,7 +220,17 @@ class PlaybackTrace:
     @property
     def stall_times(self) -> np.ndarray:
         """Per-segment stall time vector."""
-        return np.asarray([r.stall_time for r in self.records], dtype=float)
+        return self.record_array()[:, _COL_STALL].copy()
+
+    @property
+    def cumulative_stall_times(self) -> np.ndarray:
+        """Per-segment cumulative stall time vector."""
+        return self.record_array()[:, _COL_CUM_STALL].copy()
+
+    @property
+    def exited_flags(self) -> np.ndarray:
+        """Per-segment exit indicator vector (0/1 floats)."""
+        return self.record_array()[:, _COL_EXITED].copy()
 
 
 @dataclass(frozen=True)

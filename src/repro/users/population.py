@@ -146,6 +146,18 @@ class UserPopulation:
         """Users in the long-tail bandwidth regime the paper focuses on (§5.4)."""
         return [p for p in self._profiles if p.mean_bandwidth_kbps < threshold_kbps]
 
+    def shards(self, num_shards: int) -> list[list[UserProfile]]:
+        """Deterministic round-robin sharding of the population.
+
+        Shard ``i`` receives profiles ``i, i + n, i + 2n, …`` — independent of
+        worker scheduling, so a fleet run is reproducible for a given seed and
+        shard count.  Shards may be empty when ``num_shards`` exceeds the
+        population size.
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        return [list(self._profiles[i::num_shards]) for i in range(num_shards)]
+
     def split(self, fraction: float, seed: int = 0) -> tuple["UserPopulation", "UserPopulation"]:
         """Randomly split the population (e.g. experimental vs control group)."""
         if not 0 < fraction < 1:

@@ -170,3 +170,42 @@ class TestFormatting:
     def test_format_table(self):
         text = format_table(["a", "b"], [[1, 2], [3, 4]])
         assert "a" in text and "3" in text
+
+
+class TestRunnerCLI:
+    def test_select_figures_default_is_everything(self):
+        from repro.experiments.runner import FIGURE_IDS, select_figures
+
+        assert select_figures(None) == list(FIGURE_IDS)
+        assert select_figures([]) == list(FIGURE_IDS)
+
+    def test_select_figures_preserves_order_and_pulls_fig12(self):
+        from repro.experiments.runner import select_figures
+
+        assert select_figures(["fig13", "fig01"]) == ["fig01", "fig12", "fig13"]
+        assert select_figures(["fig15"]) == ["fig12", "fig15"]
+        assert select_figures(["fig02"]) == ["fig02"]
+
+    def test_select_figures_rejects_unknown(self):
+        from repro.experiments.runner import select_figures
+
+        with pytest.raises(ValueError, match="unknown figures"):
+            select_figures(["fig99"])
+
+    def test_argparse_flags(self):
+        from repro.experiments.runner import _parse_args
+
+        args = _parse_args(["--figures", "fig01,fig12", "--quiet"])
+        assert args.figures == "fig01,fig12"
+        assert args.quiet is True
+        assert _parse_args([]).quiet is False
+
+    def test_run_all_respects_selection(self, tiny_substrate):
+        from repro.experiments.runner import run_all
+
+        results = run_all(
+            substrate_config=tiny_substrate.config,
+            verbose=False,
+            figures=["fig01"],
+        )
+        assert list(results) == ["fig01"]
