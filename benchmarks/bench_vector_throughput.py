@@ -1,0 +1,154 @@
+"""Vector-vs-scalar backend throughput: sessions/second at N ∈ {1, 64, 1024}.
+
+The workload is the fleet shape: N homogeneous HYB sessions (same video and
+bandwidth trace) with per-user QoS-aware exit models and per-session `Philox`
+RNG substreams.  Both backends execute the *same* spec batch — the vector
+backend's output is segment-for-segment identical (verified here before
+timing), so the comparison is purely about execution strategy.
+
+Run directly (CI smoke uses ``VECTOR_BENCH_SIZES`` for a tiny run)::
+
+    PYTHONPATH=src python benchmarks/bench_vector_throughput.py
+    PYTHONPATH=src VECTOR_BENCH_SIZES=1,64 python benchmarks/bench_vector_throughput.py
+
+or through pytest alongside the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_vector_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from repro.abr.hyb import HYB
+from repro.experiments.common import format_table
+from repro.sim import SessionSpec, get_backend, spawn_session_seeds
+from repro.sim.session import SessionConfig
+from repro.sim.bandwidth import StationaryTraceGenerator
+from repro.sim.video import Video
+from repro.users.population import UserPopulation
+
+DEFAULT_SIZES = (1, 64, 1024)
+#: Acceptance floor for the struct-of-arrays engine at the largest batch.
+MIN_SPEEDUP_AT_1024 = 5.0
+
+
+def _build_specs(num_sessions: int) -> list[SessionSpec]:
+    population = UserPopulation.generate(
+        num_sessions, seed=7, bandwidth_median_kbps=3000.0
+    )
+    video = Video(num_segments=60, seed=3)
+    trace = StationaryTraceGenerator(2500.0, 600.0).generate(
+        100, np.random.default_rng(0)
+    )
+    abr = HYB()
+    seeds = spawn_session_seeds(0, num_sessions)
+    return [
+        SessionSpec(
+            abr=abr,
+            video=video,
+            trace=trace,
+            exit_model=profile.exit_model(),
+            seed=seeds[i],
+            user_id=profile.user_id,
+        )
+        for i, profile in enumerate(population)
+    ]
+
+
+def _time_backend(backend_name: str, specs: list[SessionSpec]) -> tuple[float, list]:
+    backend = get_backend(backend_name)
+    config = SessionConfig()
+    backend.run_batch(specs[:1], config)  # warm-up (imports, caches)
+    start = time.perf_counter()
+    traces = backend.run_batch(specs, config)
+    return time.perf_counter() - start, traces
+
+
+def run_bench(sizes=DEFAULT_SIZES, check_speedup: bool = True) -> list[dict]:
+    """Measure both backends at each batch size; returns one row per size."""
+    rows = []
+    for num_sessions in sizes:
+        specs = _build_specs(num_sessions)
+        scalar_time, scalar_traces = _time_backend("scalar", specs)
+        vector_time, vector_traces = _time_backend("vector", specs)
+        assert all(
+            s.records == v.records for s, v in zip(scalar_traces, vector_traces)
+        ), "vector backend diverged from scalar traces"
+        num_segments = sum(len(trace) for trace in scalar_traces)
+        rows.append(
+            {
+                "sessions": num_sessions,
+                "segments": num_segments,
+                "scalar_sps": num_sessions / scalar_time,
+                "vector_sps": num_sessions / vector_time,
+                "speedup": scalar_time / vector_time,
+            }
+        )
+
+    print("\nvector backend throughput (identical traces, same spec batch):")
+    print(
+        format_table(
+            ["N", "segments", "scalar sessions/s", "vector sessions/s", "speedup"],
+            [
+                [
+                    row["sessions"],
+                    row["segments"],
+                    f"{row['scalar_sps']:.0f}",
+                    f"{row['vector_sps']:.0f}",
+                    f"{row['speedup']:.1f}x",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    if check_speedup:
+        for row in rows:
+            if row["sessions"] >= 1024:
+                assert row["speedup"] >= MIN_SPEEDUP_AT_1024, (
+                    f"vector backend only {row['speedup']:.2f}x at "
+                    f"N={row['sessions']} (need >= {MIN_SPEEDUP_AT_1024}x)"
+                )
+    return rows
+
+
+def _sizes_from_env() -> tuple[int, ...]:
+    raw = os.environ.get("VECTOR_BENCH_SIZES")
+    if not raw:
+        return DEFAULT_SIZES
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def test_vector_backend_throughput(benchmark):
+    """Pytest entry point (sizes overridable via VECTOR_BENCH_SIZES)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    run_bench(_sizes_from_env())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated batch sizes (default: env VECTOR_BENCH_SIZES or 1,64,1024)",
+    )
+    parser.add_argument(
+        "--no-assert",
+        action="store_true",
+        help="report only; skip the >=5x speedup assertion at N>=1024",
+    )
+    args = parser.parse_args()
+    sizes = (
+        tuple(int(part) for part in args.sizes.split(",") if part.strip())
+        if args.sizes
+        else _sizes_from_env()
+    )
+    run_bench(sizes, check_speedup=not args.no_assert)
+
+
+if __name__ == "__main__":
+    main()

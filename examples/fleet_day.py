@@ -21,6 +21,7 @@ from repro.fleet import (
     available_scenarios,
     replay_log_collection,
 )
+from repro.sim import available_backends
 from repro.sim.video import VideoLibrary
 from repro.users.population import UserPopulation
 
@@ -34,6 +35,12 @@ def main() -> None:
         default="steady_state",
         choices=available_scenarios(),
         help="fleet workload to simulate",
+    )
+    parser.add_argument(
+        "--backend",
+        default="scalar",
+        choices=available_backends(),
+        help="simulation backend executing each shard's sessions",
     )
     parser.add_argument("--users", type=int, default=500)
     parser.add_argument("--sessions-per-user", type=int, default=4)
@@ -63,11 +70,13 @@ def main() -> None:
             sessions_per_user=args.sessions_per_user,
             trace_length=100,
             seed=args.seed,
+            backend=args.backend,
         )
     )
     print(
         f"simulating {args.users} users x {args.sessions_per_user} sessions "
-        f"({args.scenario}) on {args.shards} shards / {args.workers} workers ..."
+        f"({args.scenario}) on {args.shards} shards / {args.workers} workers "
+        f"[{args.backend} backend] ..."
     )
     result = orchestrator.run(
         population,

@@ -8,6 +8,8 @@ QoE baseline.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, QoEParameters
@@ -39,3 +41,24 @@ class BBA(ABRAlgorithm):
             return num_levels - 1
         fraction = (buffer - self.reservoir_s) / self.cushion_s
         return int(np.clip(int(fraction * num_levels), 0, num_levels - 1))
+
+    @classmethod
+    def vector_kernel(cls, policies: Sequence["BBA"]):
+        """Batched :meth:`select_level` over a struct-of-arrays step context.
+
+        Returns ``kernel(context) -> levels`` reproducing the scalar
+        reservoir/cushion mapping exactly (BBA only looks at the buffer, so
+        the kernel is a handful of array comparisons).
+        """
+        reservoir = np.asarray([p.reservoir_s for p in policies], dtype=float)
+        cushion = np.asarray([p.cushion_s for p in policies], dtype=float)
+
+        def kernel(context) -> np.ndarray:
+            num_levels = context.bitrates.size
+            buffer = context.buffer
+            fraction = (buffer - reservoir) / cushion
+            levels = np.clip((fraction * num_levels).astype(int), 0, num_levels - 1)
+            levels = np.where(buffer <= reservoir, 0, levels)
+            return np.where(buffer >= reservoir + cushion, num_levels - 1, levels)
+
+        return kernel

@@ -10,6 +10,10 @@ production A/B test.
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.abr.base import ABRAlgorithm, QoEParameters
 from repro.sim.session import ABRContext
 
@@ -43,3 +47,29 @@ class HYB(ABRAlgorithm):
             if download_time < budget:
                 chosen = level
         return chosen
+
+    @classmethod
+    def vector_kernel(cls, policies: Sequence["HYB"]):
+        """Batched :meth:`select_level` over a struct-of-arrays step context.
+
+        Returns ``kernel(context) -> levels`` matching the scalar rule
+        bit-for-bit: the highest rung whose expected download time stays
+        strictly below ``beta * buffer`` (0 if none qualifies), with the
+        startup level before any throughput has been observed.
+        """
+        beta = np.asarray([p.parameters.beta for p in policies], dtype=float)
+        window = np.asarray([p.throughput_window for p in policies], dtype=int)
+        startup = np.asarray([p.startup_level for p in policies], dtype=int)
+
+        def kernel(context) -> np.ndarray:
+            num_levels = context.bitrates.size
+            if context.k == 0:
+                return np.minimum(startup, num_levels - 1)
+            throughput = context.harmonic_throughput(window)
+            budget = beta * np.maximum(context.buffer, 0.0)
+            download_times = context.segment_sizes / np.maximum(throughput, 1e-9)[:, None]
+            feasible = download_times < budget[:, None]
+            highest = num_levels - 1 - np.argmax(feasible[:, ::-1], axis=1)
+            return np.where(feasible.any(axis=1), highest, 0)
+
+        return kernel

@@ -7,6 +7,10 @@ switch limiter for smoothness (the "gradual switching" idea of FESTIVE).
 
 from __future__ import annotations
 
+from typing import Sequence
+
+import numpy as np
+
 from repro.abr.base import ABRAlgorithm, QoEParameters
 from repro.sim.session import ABRContext
 
@@ -43,3 +47,30 @@ class ThroughputRule(ABRAlgorithm):
         if target < context.last_level:
             return context.last_level - 1
         return target
+
+    @classmethod
+    def vector_kernel(cls, policies: Sequence["ThroughputRule"]):
+        """Batched :meth:`select_level` over a struct-of-arrays step context.
+
+        Returns ``kernel(context) -> levels`` where ``context`` is a
+        :class:`repro.sim.vector.VectorStepContext` covering one session per
+        policy.  The kernel reproduces the scalar decision bit-for-bit: the
+        same harmonic-mean estimate, the same ``level_for_bitrate`` threshold
+        semantics (via ``searchsorted(side="right")``), the same one-rung
+        gradual switching.
+        """
+        safety = np.asarray([p.safety for p in policies], dtype=float)
+        window = np.asarray([p.window for p in policies], dtype=int)
+        gradual = np.asarray([p.gradual for p in policies], dtype=bool)
+
+        def kernel(context) -> np.ndarray:
+            if context.k == 0:
+                return np.zeros(safety.size, dtype=int)
+            estimate = safety * context.harmonic_throughput(window)
+            target = np.maximum(
+                np.searchsorted(context.bitrates, estimate, side="right") - 1, 0
+            )
+            stepped = context.last_level + np.sign(target - context.last_level)
+            return np.where(gradual, stepped, target)
+
+        return kernel

@@ -35,6 +35,33 @@ class SessionLog:
         """Per-segment records of the session."""
         return self.trace.records
 
+    @classmethod
+    def zip_with_playbacks(
+        cls,
+        metas: Sequence[tuple[str, int, int, float]],
+        playbacks: Sequence[PlaybackTrace],
+    ) -> list["SessionLog"]:
+        """Pair session metadata with backend-batch playback results.
+
+        ``metas`` holds one ``(user_id, day, session_index,
+        mean_bandwidth_kbps)`` tuple per spec, in the order the specs were
+        handed to :meth:`repro.sim.backend.SimBackend.run_batch` — the shared
+        reassembly step of every spec-batched session producer (fleet shards,
+        campaigns, synthetic log generation).
+        """
+        return [
+            cls(
+                user_id=user_id,
+                day=day,
+                session_index=session_index,
+                trace=playback,
+                mean_bandwidth_kbps=mean_bandwidth_kbps,
+            )
+            for (user_id, day, session_index, mean_bandwidth_kbps), playback in zip(
+                metas, playbacks, strict=True
+            )
+        ]
+
     @property
     def watch_time(self) -> float:
         """Seconds of video watched."""

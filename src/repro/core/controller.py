@@ -143,10 +143,34 @@ class LingXiController:
             candidates = self.parameter_space.candidate_grid(
                 self.config.fixed_candidates_per_dimension
             )
+            evaluate_many = getattr(self.evaluator, "evaluate_many", None)
+            if evaluate_many is not None:
+                # Batched sweep: all candidates' Monte-Carlo rollouts advance
+                # as one lockstep batch.  Identically seeded per-candidate
+                # generators keep the comparison paired (common random
+                # numbers) like the sequential sweep below, but without its
+                # inter-candidate pruning: every candidate runs its full
+                # budget, so a candidate the sequential sweep would have
+                # aborted can occasionally win here.
+                values = evaluate_many(
+                    candidates,
+                    abr,
+                    snapshot,
+                    self.user_state,
+                    rngs=[
+                        np.random.default_rng(activation_seed) for _ in candidates
+                    ],
+                )
+            else:
+                values = []
+                best_so_far = float("inf")
+                for candidate in candidates:
+                    value = evaluate(candidate, best_so_far)
+                    values.append(value)
+                    best_so_far = min(best_so_far, value)
             best_value = float("inf")
             best_parameters = self.best_parameters
-            for candidate in candidates:
-                value = evaluate(candidate, best_value)
+            for candidate, value in zip(candidates, values):
                 if value < best_value:
                     best_value = value
                     best_parameters = candidate

@@ -40,6 +40,26 @@ class MonteCarloConfig:
             raise ValueError("max_sample_duration_s must be positive")
 
 
+def virtual_video(snapshot: PlayerSnapshot, config: MonteCarloConfig) -> Video:
+    """Synthetic video used for virtual playback from a live-player snapshot.
+
+    Shared by the sequential evaluator here and the batched lockstep
+    evaluator of :mod:`repro.fleet.batched`: ``T_sample`` seconds of segments
+    on the snapshot's ladder, with the evaluator's own VBR jitter and seed so
+    every candidate sees the same virtual segment sizes.
+    """
+    num_segments = max(
+        2, int(np.ceil(config.max_sample_duration_s / snapshot.segment_duration))
+    )
+    return Video(
+        ladder=snapshot.ladder,
+        num_segments=num_segments,
+        segment_duration=snapshot.segment_duration,
+        vbr_std=config.vbr_std,
+        seed=config.seed,
+    )
+
+
 class MonteCarloEvaluator:
     """EvaluateParameters via virtual playback (Algorithm 2)."""
 
@@ -54,16 +74,7 @@ class MonteCarloEvaluator:
         self.pruning = pruning or PruningPolicy()
 
     def _virtual_video(self, snapshot: PlayerSnapshot) -> Video:
-        num_segments = max(
-            2, int(np.ceil(self.config.max_sample_duration_s / snapshot.segment_duration))
-        )
-        return Video(
-            ladder=snapshot.ladder,
-            num_segments=num_segments,
-            segment_duration=snapshot.segment_duration,
-            vbr_std=self.config.vbr_std,
-            seed=self.config.seed,
-        )
+        return virtual_video(snapshot, self.config)
 
     def evaluate(
         self,
@@ -109,8 +120,8 @@ class MonteCarloEvaluator:
                         buffer_cap=environment.buffer_cap,
                         last_level=last_level,
                         throughput_history_kbps=tuple(throughputs[-8:]),
-                        next_segment_sizes_kbit=tuple(
-                            video.sizes_for_segment(environment.segment_index)
+                        next_segment_sizes_kbit=video.sizes_tuple(
+                            environment.segment_index
                         ),
                         ladder=snapshot.ladder,
                         segment_duration=snapshot.segment_duration,

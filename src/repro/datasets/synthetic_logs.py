@@ -20,6 +20,7 @@ import numpy as np
 from repro.abr.base import ABRAlgorithm
 from repro.abr.hyb import HYB
 from repro.analytics.logs import LogCollection, SessionLog
+from repro.sim.backend import SessionSpec, get_backend
 from repro.sim.session import PlaybackSession, SessionConfig
 from repro.sim.video import VideoLibrary
 from repro.users.population import UserPopulation, UserProfile
@@ -34,6 +35,10 @@ class LogGenerationConfig:
     trace_length: int = 200
     seed: int = 0
     session_config: SessionConfig = field(default_factory=SessionConfig)
+    #: Simulation backend.  ``"scalar"`` keeps the historical shared-RNG
+    #: loop; other backends run the whole corpus as one spec batch with
+    #: per-session RNG substreams (same schema, different random routing).
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.days <= 0:
@@ -58,6 +63,8 @@ def generate_production_logs(
     config = config or LogGenerationConfig()
     abr_factory = abr_factory or (lambda _profile: HYB())
     rng = np.random.default_rng(config.seed)
+    if config.backend != "scalar":
+        return _generate_logs_batched(population, library, config, abr_factory, rng)
     session_engine = PlaybackSession(config.session_config)
 
     sessions: list[SessionLog] = []
@@ -91,5 +98,62 @@ def generate_production_logs(
                         mean_bandwidth_kbps=profile.mean_bandwidth_kbps,
                     )
                 )
+        day_population = day_population.next_day(rng)
+    return LogCollection(sessions)
+
+
+def _generate_logs_batched(
+    population: UserPopulation,
+    library: VideoLibrary,
+    config: LogGenerationConfig,
+    abr_factory: Callable[[UserProfile], ABRAlgorithm],
+    rng: np.random.Generator,
+) -> LogCollection:
+    """Backend-routed corpus generation: the whole corpus as one spec batch.
+
+    Traces, videos and population drift consume ``rng`` in the same per-user
+    sequence as the scalar loop, but without the per-segment exit draws
+    interleaved (those move to per-session RNG substreams), so the concrete
+    corpus differs from a ``backend="scalar"`` run of the same seed.  The
+    substreams let the backend execute the batch in any order (the vector
+    backend advances every vectorizable session in lockstep).
+
+    Each simulated day runs as its own batch: one day of a large population
+    is plenty of lockstep width for the vector engine, while bounding peak
+    memory (the engine preallocates per-session record arrays per batch).
+    """
+    backend = get_backend(config.backend)
+    seed_root = np.random.SeedSequence(config.seed)
+    sessions: list[SessionLog] = []
+    day_population = population
+    for day in range(config.days):
+        specs: list[SessionSpec] = []
+        metas: list[tuple[str, int, int, float]] = []
+        for profile in day_population:
+            abr = abr_factory(profile)
+            exit_model = profile.exit_model()
+            num_sessions = (
+                config.sessions_per_user_per_day
+                if config.sessions_per_user_per_day is not None
+                else profile.sessions_per_day
+            )
+            trace = profile.bandwidth_trace(config.trace_length, rng)
+            for session_index in range(num_sessions):
+                video = library.sample(rng)
+                specs.append(
+                    SessionSpec(
+                        abr=abr,
+                        video=video,
+                        trace=trace,
+                        exit_model=exit_model,
+                        seed=seed_root.spawn(1)[0],
+                        user_id=profile.user_id,
+                    )
+                )
+                metas.append(
+                    (profile.user_id, day, session_index, profile.mean_bandwidth_kbps)
+                )
+        playbacks = backend.run_batch(specs, config.session_config)
+        sessions.extend(SessionLog.zip_with_playbacks(metas, playbacks))
         day_population = day_population.next_day(rng)
     return LogCollection(sessions)

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.abr.base import ABRAlgorithm
 from repro.analytics.logs import LogCollection, SessionLog
+from repro.sim.backend import SessionSpec, get_backend
 from repro.sim.session import PlaybackSession, SessionConfig
 from repro.sim.video import VideoLibrary
 from repro.users.population import UserPopulation, UserProfile
@@ -56,6 +57,7 @@ def run_campaign(
     config: CampaignConfig | None = None,
     parameter_getter: Callable[[ABRAlgorithm], float] | None = None,
     abrs: dict[str, ABRAlgorithm] | None = None,
+    backend: str = "scalar",
 ) -> CampaignResult:
     """Simulate ``config.days`` days of playback for every user.
 
@@ -63,11 +65,21 @@ def run_campaign(
     supplied via ``abrs``, which allows chaining an AA phase into an AB phase
     with the same user state).  ``parameter_getter`` extracts the tracked
     parameter from an ABR (defaults to ``beta``).
+
+    ``backend`` selects the simulation backend.  ``"scalar"`` is the
+    historical loop (one shared RNG threading through every session); any
+    other registered backend runs each day's sessions as one
+    :class:`~repro.sim.backend.SessionSpec` batch with per-session RNG
+    substreams — vectorizable users (e.g. plain HYB during AA phases) then
+    advance in lockstep, while stateful LingXi users fall back to sequential
+    execution inside the same batch.
     """
     config = config or CampaignConfig()
     parameter_getter = parameter_getter or (lambda abr: abr.parameters.beta)
     rng = np.random.default_rng(config.seed)
-    session_engine = PlaybackSession(SessionConfig())
+    sim_backend = None if backend == "scalar" else get_backend(backend)
+    seed_root = np.random.SeedSequence(config.seed)
+    session_engine = PlaybackSession(SessionConfig()) if sim_backend is None else None
     abrs = abrs if abrs is not None else {}
 
     sessions: list[SessionLog] = []
@@ -75,6 +87,8 @@ def run_campaign(
     day_population = population
     for day_offset in range(config.days):
         day = config.start_day + day_offset
+        specs: list[SessionSpec] = []
+        metas: list[tuple[str, int, int, float]] = []
         for profile in day_population:
             abr = abrs.get(profile.user_id)
             if abr is None:
@@ -84,6 +98,26 @@ def run_campaign(
             trace = profile.bandwidth_trace(config.trace_length, rng)
             for session_index in range(config.sessions_per_user_per_day):
                 video = library.sample(rng)
+                if sim_backend is not None:
+                    specs.append(
+                        SessionSpec(
+                            abr=abr,
+                            video=video,
+                            trace=trace,
+                            exit_model=exit_model,
+                            seed=seed_root.spawn(1)[0],
+                            user_id=profile.user_id,
+                        )
+                    )
+                    metas.append(
+                        (
+                            profile.user_id,
+                            day,
+                            session_index,
+                            profile.mean_bandwidth_kbps,
+                        )
+                    )
+                    continue
                 playback = session_engine.run(
                     abr,
                     video,
@@ -101,7 +135,13 @@ def run_campaign(
                         mean_bandwidth_kbps=profile.mean_bandwidth_kbps,
                     )
                 )
-            daily_parameters[(profile.user_id, day)] = float(parameter_getter(abr))
+        if sim_backend is not None:
+            playbacks = sim_backend.run_batch(specs, SessionConfig())
+            sessions.extend(SessionLog.zip_with_playbacks(metas, playbacks))
+        for profile in day_population:
+            daily_parameters[(profile.user_id, day)] = float(
+                parameter_getter(abrs[profile.user_id])
+            )
         day_population = day_population.next_day(rng)
     return CampaignResult(
         logs=LogCollection(sessions), daily_parameters=daily_parameters, abrs=abrs

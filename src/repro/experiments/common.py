@@ -22,6 +22,7 @@ from repro.datasets import (
     build_exit_dataset,
     generate_production_logs,
 )
+from repro.sim.backend import get_backend
 from repro.sim.video import VideoLibrary
 from repro.users.population import UserPopulation
 
@@ -44,12 +45,18 @@ class SubstrateConfig:
     training_oversample_days: int = 8
     training_oversample_threshold_kbps: float = 4500.0
     seed: int = 0
+    #: Simulation backend for substrate log generation and (via the figure
+    #: drivers' defaults) the fig10/fig12 campaign loops.  ``"scalar"`` keeps
+    #: the historical shared-RNG session loop; ``"vector"`` routes sessions
+    #: through the struct-of-arrays backend with per-session RNG substreams.
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.num_users <= 0 or self.days <= 0:
             raise ValueError("num_users and days must be positive")
         if self.training_oversample_days < 0:
             raise ValueError("training_oversample_days must be non-negative")
+        get_backend(self.backend)  # fail fast on unknown backend names
 
 
 @dataclass
@@ -86,6 +93,7 @@ def build_substrate(config: SubstrateConfig | None = None, train_epochs: int = 1
             days=config.days,
             sessions_per_user_per_day=config.sessions_per_user_per_day,
             seed=config.seed + 2,
+            backend=config.backend,
         ),
     )
     # Stall events are rare platform-wide, so the predictor's training corpus
@@ -101,6 +109,7 @@ def build_substrate(config: SubstrateConfig | None = None, train_epochs: int = 1
                 days=config.training_oversample_days,
                 sessions_per_user_per_day=config.sessions_per_user_per_day,
                 seed=config.seed + 3,
+                backend=config.backend,
             ),
         )
         training_logs = logs.extend(extra_logs)

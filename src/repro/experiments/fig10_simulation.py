@@ -27,6 +27,7 @@ from repro.core.monte_carlo import MonteCarloConfig
 from repro.core.parameter_space import ParameterSpace
 from repro.core.triggers import TriggerPolicy
 from repro.experiments.common import Substrate, SubstrateConfig, build_substrate
+from repro.sim.backend import SessionSpec, get_backend
 from repro.sim.bandwidth import BandwidthTrace
 from repro.sim.session import ExitModel, PlaybackSession, SessionConfig
 from repro.sim.traces import generate_trace_set
@@ -146,7 +147,28 @@ def _completion_rate(
     exit_model: ExitModel,
     rng: np.random.Generator,
     repeats: int,
+    backend: str = "scalar",
 ) -> float:
+    if backend != "scalar":
+        # Spec-batched path: each (repeat, trace) session gets its own RNG
+        # substream derived from the driver RNG, and the whole sweep runs as
+        # one backend batch (vectorized for HYB/BBA/throughput sessions,
+        # sequential fallback for MPC/Pensieve/LingXi-wrapped ones).
+        seeds = np.random.SeedSequence(int(rng.integers(2**31 - 1))).spawn(
+            repeats * len(traces)
+        )
+        specs = [
+            SessionSpec(
+                abr=abr,
+                video=video,
+                trace=traces[index % len(traces)],
+                exit_model=exit_model,
+                seed=seeds[index],
+            )
+            for index in range(repeats * len(traces))
+        ]
+        playbacks = get_backend(backend).run_batch(specs, SessionConfig())
+        return float(np.mean([float(playback.completed) for playback in playbacks]))
     engine = PlaybackSession(SessionConfig())
     completions = []
     for repeat in range(repeats):
@@ -172,16 +194,20 @@ def run(
     include_lingxi_bayesian: bool = True,
     pensieve_training_iterations: int = 15,
     seed: int = 0,
+    backend: str | None = None,
 ) -> Fig10Result:
     """Run the pre-deployment simulation study (scaled-down defaults).
 
     The paper sweeps stall parameters 1–20, switch parameters 0–4, and 64
     rule-based engagement rules; the defaults here keep the same structure on
     a laptop-sized grid.  Pass larger sequences to approach the paper's scale.
+    ``backend`` selects the completion-sweep simulation backend (defaults to
+    the substrate's configured backend).
     """
     if user_modeling not in ("rule", "data"):
         raise ValueError("user_modeling must be 'rule' or 'data'")
     substrate = substrate or build_substrate(SubstrateConfig())
+    backend = backend or getattr(substrate.config, "backend", "scalar")
     rng = np.random.default_rng(seed)
     # Low-bandwidth-heavy trace set: completion is limited by stall-driven exits.
     traces = generate_trace_set(
@@ -227,7 +253,13 @@ def run(
         for key, parameters in fixed_candidates.items():
             rates = [
                 _completion_rate(
-                    baseline_factory(parameters), video, traces, exit_model, rng, repeats
+                    baseline_factory(parameters),
+                    video,
+                    traces,
+                    exit_model,
+                    rng,
+                    repeats,
+                    backend=backend,
                 )
                 for exit_model in users.values()
             ]
@@ -249,7 +281,9 @@ def run(
             )
             wrapped = LingXiABR(baseline_factory(QoEParameters()), controller)
             completions.append(
-                _completion_rate(wrapped, video, traces, exit_model, rng, repeats)
+                _completion_rate(
+                    wrapped, video, traces, exit_model, rng, repeats, backend=backend
+                )
             )
             tracked_field = space.names[0]
             if controller.history:

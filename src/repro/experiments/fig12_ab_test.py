@@ -82,9 +82,16 @@ def run(
     trace_length: int = 120,
     split_fraction: float = 0.5,
     seed: int = 21,
+    backend: str | None = None,
 ) -> Fig12Result:
-    """Run the AA/AB campaign and the difference-in-differences analysis."""
+    """Run the AA/AB campaign and the difference-in-differences analysis.
+
+    ``backend`` selects the campaign simulation backend (defaults to the
+    substrate's configured backend; the AA phases and the control group are
+    plain HYB and fully vectorizable under ``"vector"``).
+    """
     substrate = substrate or build_substrate(SubstrateConfig())
+    backend = backend or getattr(substrate.config, "backend", "scalar")
     treatment_population, control_population = substrate.population.split(
         split_fraction, seed=seed
     )
@@ -102,6 +109,7 @@ def run(
                 start_day=start_day,
             ),
             abrs=abrs,
+            backend=backend,
         )
 
     hyb_factory = lambda _profile: HYB(parameters=_baseline_parameters())  # noqa: E731

@@ -33,6 +33,7 @@ from repro.experiments import (
     fig15_user_trajectories,
 )
 from repro.experiments.common import SubstrateConfig, build_substrate
+from repro.sim.backend import available_backends
 
 #: Figure ids in execution order.  Figures 13–15 reuse the AA/AB campaign of
 #: Figure 12, so selecting any of them pulls ``fig12`` in as a dependency.
@@ -140,6 +141,15 @@ def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         action="store_true",
         help="suppress per-figure timing and summary output",
     )
+    parser.add_argument(
+        "--backend",
+        default="scalar",
+        choices=available_backends(),
+        help=(
+            "simulation backend for substrate log generation and the "
+            "fig10/fig12 campaign loops (default: scalar)"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -156,7 +166,11 @@ def main(argv: list[str] | None = None) -> dict[str, object]:
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
     np.set_printoptions(precision=4, suppress=True)
-    return run_all(verbose=not args.quiet, figures=figures)
+    return run_all(
+        substrate_config=SubstrateConfig(backend=args.backend),
+        verbose=not args.quiet,
+        figures=figures,
+    )
 
 
 if __name__ == "__main__":

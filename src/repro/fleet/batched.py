@@ -23,18 +23,18 @@ This module replaces that hot path with two pieces:
 from __future__ import annotations
 
 import copy
+from typing import Sequence
 
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, QoEParameters
 from repro.core.exit_predictor import ExitRatePredictor
-from repro.core.monte_carlo import MonteCarloConfig
+from repro.core.monte_carlo import MonteCarloConfig, virtual_video
 from repro.core.state import PlayerSnapshot, UserState
 from repro.core.triggers import PruningPolicy
 from repro.datasets.stall_dataset import NUM_FEATURES, WINDOW_LENGTH
 from repro.sim.player import PlayerEnvironment
 from repro.sim.session import ABRContext
-from repro.sim.video import Video
 
 
 class BatchedExitPredictor:
@@ -113,19 +113,28 @@ class BatchedExitPredictor:
 
 
 class BatchedMonteCarloEvaluator:
-    """Algorithm 2 with all virtual-playback samples advanced in lockstep.
+    """Algorithm 2 with all virtual-playback rollouts advanced in lockstep.
 
     Semantically this estimates the same quantity as the sequential evaluator
     (``R_exit = exited / watched`` over ``M`` samples of frozen-bandwidth
     virtual playback) but restructures the loop: at every virtual segment step
-    the still-alive samples each pick a level and advance their private player
-    environment, and then *one* batched predictor call scores all of them.
-    ABR state is kept per sample via cheap deep copies, so stateful algorithms
-    behave exactly as they do in per-sample rollouts.
+    the still-alive rollouts each pick a level and advance their private
+    player environment, and then *one* batched predictor call scores all of
+    them.  ABR state is kept per rollout via cheap deep copies, so stateful
+    algorithms behave exactly as they do in per-sample rollouts.
 
-    The ``evaluate`` signature matches
-    :class:`~repro.core.monte_carlo.MonteCarloEvaluator`, so instances drop
-    straight into ``LingXiController.evaluator``.
+    Two entry points share the rollout engine:
+
+    * :meth:`evaluate` — one candidate, ``M`` samples, with the
+      virtual-playback pruning rule; signature matches
+      :class:`~repro.core.monte_carlo.MonteCarloEvaluator`, so instances drop
+      straight into ``LingXiController.evaluator``.
+    * :meth:`evaluate_many` — **all candidates of an activation at once**:
+      ``C × M`` rollouts advance in lockstep and every step issues a single
+      NN forward over every alive rollout of every candidate.  Each candidate
+      draws from its own RNG, so passing ``C`` generators seeded identically
+      reproduces per-candidate :meth:`evaluate` results bit-for-bit (common
+      random numbers across candidates, exactly like the sequential sweep).
     """
 
     def __init__(
@@ -140,18 +149,6 @@ class BatchedMonteCarloEvaluator:
         self.config = config or MonteCarloConfig()
         self.pruning = pruning or PruningPolicy()
 
-    def _virtual_video(self, snapshot: PlayerSnapshot) -> Video:
-        num_segments = max(
-            2, int(np.ceil(self.config.max_sample_duration_s / snapshot.segment_duration))
-        )
-        return Video(
-            ladder=snapshot.ladder,
-            num_segments=num_segments,
-            segment_duration=snapshot.segment_duration,
-            vbr_std=self.config.vbr_std,
-            seed=self.config.seed,
-        )
-
     def evaluate(
         self,
         parameters: QoEParameters,
@@ -163,91 +160,186 @@ class BatchedMonteCarloEvaluator:
     ) -> float:
         """Estimated exit rate ``R_exit`` for ``parameters`` (batched rollout)."""
         rng = rng or np.random.default_rng(self.config.seed)
+        return self._rollout(
+            [parameters],
+            abr,
+            snapshot,
+            user_state,
+            rngs=[rng],
+            best_exit_rate=best_exit_rate,
+        )[0]
+
+    def evaluate_many(
+        self,
+        parameters_list: Sequence[QoEParameters],
+        abr: ABRAlgorithm,
+        snapshot: PlayerSnapshot,
+        user_state: UserState,
+        rngs: Sequence[np.random.Generator] | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> list[float]:
+        """Estimated exit rates for *all* candidates as one lockstep batch.
+
+        ``rngs`` supplies one generator per candidate (pass generators with
+        the same seed for the paired common-random-numbers comparison of an
+        activation); alternatively a single ``rng`` is spawned into
+        independent per-candidate streams.  Inter-candidate pruning is not
+        applied — every candidate runs its full budget, which is exactly what
+        makes the single-forward-per-step batching possible.
+        """
+        if not parameters_list:
+            return []
+        if rngs is None:
+            source = rng or np.random.default_rng(self.config.seed)
+            rngs = source.spawn(len(parameters_list))
+        if len(rngs) != len(parameters_list):
+            raise ValueError("need exactly one RNG per candidate")
+        return self._rollout(
+            list(parameters_list),
+            abr,
+            snapshot,
+            user_state,
+            rngs=list(rngs),
+            best_exit_rate=float("inf"),
+        )
+
+    def _rollout(
+        self,
+        candidates: list[QoEParameters],
+        abr: ABRAlgorithm,
+        snapshot: PlayerSnapshot,
+        user_state: UserState,
+        rngs: list[np.random.Generator],
+        best_exit_rate: float,
+    ) -> list[float]:
+        """Advance ``len(candidates) * M`` virtual rollouts in lockstep.
+
+        Every step draws each candidate's bandwidths and exit uniforms from
+        that candidate's own generator (in the same order as a standalone
+        :meth:`evaluate` call would), advances the per-rollout player
+        environments, and scores **all** alive rollouts with one batched
+        predictor call.  Pruning against ``best_exit_rate`` only applies to
+        single-candidate rollouts (the :meth:`evaluate` path).
+        """
         saved_parameters = abr.parameters
-        abr.set_parameters(parameters)
-        video = self._virtual_video(snapshot)
+        video = virtual_video(snapshot, self.config)
         frozen_bandwidth = snapshot.bandwidth_model
         num_samples = self.config.num_samples
-        exited_count = 0
-        watched_count = 0
+        num_candidates = len(candidates)
+        prune = num_candidates == 1
+        exited = [0] * num_candidates
+        watched = [0] * num_candidates
         try:
-            abrs: list[ABRAlgorithm] = []
-            for _ in range(num_samples):
-                clone = copy.deepcopy(abr)
-                clone.reset()
-                abrs.append(clone)
-            environments = [
-                PlayerEnvironment(
-                    video=video,
-                    rtt=snapshot.rtt,
-                    initial_buffer=snapshot.buffer,
-                    base_buffer_cap=snapshot.base_buffer_cap,
-                    bandwidth_model=frozen_bandwidth.copy(),
+            abrs: list[list[ABRAlgorithm]] = []
+            environments: list[list[PlayerEnvironment]] = []
+            states: list[list[UserState]] = []
+            throughputs: list[list[list[float]]] = []
+            last_levels: list[list[int | None]] = []
+            for parameters in candidates:
+                abr.set_parameters(parameters)
+                clones = []
+                for _ in range(num_samples):
+                    clone = copy.deepcopy(abr)
+                    clone.reset()
+                    clones.append(clone)
+                abrs.append(clones)
+                environments.append(
+                    [
+                        PlayerEnvironment(
+                            video=video,
+                            rtt=snapshot.rtt,
+                            initial_buffer=snapshot.buffer,
+                            base_buffer_cap=snapshot.base_buffer_cap,
+                            bandwidth_model=frozen_bandwidth.copy(),
+                        )
+                        for _ in range(num_samples)
+                    ]
                 )
-                for _ in range(num_samples)
-            ]
-            states = [user_state.copy() for _ in range(num_samples)]
-            throughputs = [list(state.throughputs_kbps) for state in states]
-            last_levels: list[int | None] = [snapshot.last_level] * num_samples
-            alive = np.ones(num_samples, dtype=bool)
+                candidate_states = [user_state.copy() for _ in range(num_samples)]
+                states.append(candidate_states)
+                throughputs.append(
+                    [list(state.throughputs_kbps) for state in candidate_states]
+                )
+                last_levels.append([snapshot.last_level] * num_samples)
+            alive = np.ones((num_candidates, num_samples), dtype=bool)
 
             num_steps = int(
                 np.ceil(self.config.max_sample_duration_s / snapshot.segment_duration)
             )
             for _step in range(num_steps):
-                indices = np.flatnonzero(alive)
-                if indices.size == 0:
+                total_alive = int(np.count_nonzero(alive))
+                if total_alive == 0:
                     break
-                bandwidths = np.atleast_1d(
-                    frozen_bandwidth.sample(rng, size=indices.size)
-                )
-                levels = np.empty(indices.size, dtype=int)
-                switches = np.empty(indices.size, dtype=int)
-                stalled = np.empty(indices.size, dtype=bool)
-                features = np.zeros((indices.size, NUM_FEATURES, WINDOW_LENGTH))
-                for j, i in enumerate(indices):
-                    environment = environments[i]
-                    context = ABRContext(
-                        segment_index=environment.segment_index,
-                        buffer=environment.buffer,
-                        buffer_cap=environment.buffer_cap,
-                        last_level=last_levels[i],
-                        throughput_history_kbps=tuple(throughputs[i][-8:]),
-                        next_segment_sizes_kbit=tuple(
-                            video.sizes_for_segment(environment.segment_index)
-                        ),
-                        ladder=snapshot.ladder,
-                        segment_duration=snapshot.segment_duration,
-                        bandwidth_mean_kbps=frozen_bandwidth.mean,
-                        bandwidth_std_kbps=frozen_bandwidth.std,
+                levels = np.empty(total_alive, dtype=int)
+                switches = np.empty(total_alive, dtype=int)
+                stalled = np.empty(total_alive, dtype=bool)
+                features = np.zeros((total_alive, NUM_FEATURES, WINDOW_LENGTH))
+                spans: list[tuple[int, np.ndarray, int]] = []
+                offset = 0
+                for c in range(num_candidates):
+                    indices = np.flatnonzero(alive[c])
+                    if indices.size == 0:
+                        continue
+                    spans.append((c, indices, offset))
+                    bandwidths = np.atleast_1d(
+                        frozen_bandwidth.sample(rngs[c], size=indices.size)
                     )
-                    level = int(abrs[i].select_level(context))
-                    result = environment.step(level, float(bandwidths[j]))
-                    states[i].observe_segment(
-                        bitrate_kbps=result.bitrate_kbps,
-                        throughput_kbps=result.throughput_kbps,
-                        stall_time=result.stall_time,
-                        segment_duration=snapshot.segment_duration,
-                    )
-                    throughputs[i].append(result.throughput_kbps)
-                    levels[j] = level
-                    switches[j] = 0 if last_levels[i] is None else level - last_levels[i]
-                    stalled[j] = result.stall_time > 1e-12
-                    if stalled[j]:
-                        features[j] = states[i].feature_matrix()
-                    last_levels[i] = level
+                    for j, i in enumerate(indices):
+                        row = offset + j
+                        environment = environments[c][i]
+                        context = ABRContext(
+                            segment_index=environment.segment_index,
+                            buffer=environment.buffer,
+                            buffer_cap=environment.buffer_cap,
+                            last_level=last_levels[c][i],
+                            throughput_history_kbps=tuple(throughputs[c][i][-8:]),
+                            next_segment_sizes_kbit=video.sizes_tuple(
+                                environment.segment_index
+                            ),
+                            ladder=snapshot.ladder,
+                            segment_duration=snapshot.segment_duration,
+                            bandwidth_mean_kbps=frozen_bandwidth.mean,
+                            bandwidth_std_kbps=frozen_bandwidth.std,
+                        )
+                        level = int(abrs[c][i].select_level(context))
+                        result = environment.step(level, float(bandwidths[j]))
+                        states[c][i].observe_segment(
+                            bitrate_kbps=result.bitrate_kbps,
+                            throughput_kbps=result.throughput_kbps,
+                            stall_time=result.stall_time,
+                            segment_duration=snapshot.segment_duration,
+                        )
+                        throughputs[c][i].append(result.throughput_kbps)
+                        levels[row] = level
+                        switches[row] = (
+                            0
+                            if last_levels[c][i] is None
+                            else level - last_levels[c][i]
+                        )
+                        stalled[row] = result.stall_time > 1e-12
+                        if stalled[row]:
+                            features[row] = states[c][i].feature_matrix()
+                        last_levels[c][i] = level
+                    offset += indices.size
 
                 probabilities = self.predictor.predict_many(
                     features, levels, switches, stalled
                 )
-                exits = rng.random(indices.size) < probabilities
-                watched_count += int(indices.size)
-                exited_count += int(np.count_nonzero(exits))
-                alive[indices[exits]] = False
-                if self.pruning.abort_candidate(exited_count, watched_count, best_exit_rate):
-                    return exited_count / watched_count
+                for c, indices, start in spans:
+                    exits = (
+                        rngs[c].random(indices.size)
+                        < probabilities[start : start + indices.size]
+                    )
+                    watched[c] += int(indices.size)
+                    exited[c] += int(np.count_nonzero(exits))
+                    alive[c][indices[exits]] = False
+                    if prune and self.pruning.abort_candidate(
+                        exited[c], watched[c], best_exit_rate
+                    ):
+                        return [exited[c] / watched[c]]
         finally:
             abr.set_parameters(saved_parameters)
-        if watched_count == 0:
-            return 1.0
-        return exited_count / watched_count
+        return [
+            exited[c] / watched[c] if watched[c] else 1.0
+            for c in range(num_candidates)
+        ]

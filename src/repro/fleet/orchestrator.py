@@ -49,6 +49,7 @@ from repro.core.triggers import TriggerPolicy
 from repro.fleet.batched import BatchedMonteCarloEvaluator
 from repro.fleet.scenarios import Scenario, get_scenario
 from repro.fleet.telemetry import TelemetryEvent, TelemetryWriter, session_event
+from repro.sim.backend import SessionSpec, get_backend
 from repro.sim.session import PlaybackSession, SessionConfig
 from repro.sim.video import VideoLibrary
 from repro.users.population import UserPopulation, UserProfile
@@ -119,10 +120,17 @@ class FleetConfig:
     seed: int = 0
     day: int = 0
     session_config: SessionConfig = field(default_factory=SessionConfig)
+    #: Simulation backend executing each shard's sessions.  ``"scalar"`` is
+    #: the classic per-session loop with a shared shard RNG; any other
+    #: registered backend (e.g. ``"vector"``) routes the shard through
+    #: :class:`~repro.sim.backend.SessionSpec` batches with per-session
+    #: `Philox` substreams.
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
+        get_backend(self.backend)  # fail fast on unknown backend names
         if self.num_workers is not None and self.num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         if self.sessions_per_user is not None and self.sessions_per_user <= 0:
@@ -147,6 +155,7 @@ class ShardTask:
     day: int
     session_config: SessionConfig
     controller_states: dict[str, dict] = field(default_factory=dict)
+    backend: str = "scalar"
 
 
 @dataclass
@@ -254,8 +263,17 @@ def _run_shard(task: ShardTask) -> ShardOutput:
     """Simulate one shard: every user's sessions for one simulated day.
 
     Module-level so it pickles for the process pool; also called inline when
-    the pool is disabled.
+    the pool is disabled.  ``backend="scalar"`` keeps the classic loop — one
+    shared shard RNG threading through every session, preserving historical
+    fleet numbers for the built-in factories (fixed-mode LingXi controllers
+    are the exception: their candidate sweeps now use the batched
+    ``evaluate_many`` path, which drops inter-candidate pruning); any other
+    backend builds the shard's full
+    :class:`~repro.sim.backend.SessionSpec` list up front and hands it to the
+    backend as one batch with per-session RNG substreams.
     """
+    if task.backend != "scalar":
+        return _run_shard_batched(task)
     start = time.perf_counter()
     rng = np.random.default_rng(task.seed_seq)
     engine = PlaybackSession(task.session_config)
@@ -305,6 +323,72 @@ def _run_shard(task: ShardTask) -> ShardOutput:
         sessions=sessions,
         controller_states=controller_states,
         num_segments=num_segments,
+        wall_time_s=time.perf_counter() - start,
+    )
+
+
+def _run_shard_batched(task: ShardTask) -> ShardOutput:
+    """Spec-building shard path for non-scalar backends.
+
+    Scenario randomness (session counts, traces, videos, ABR seeds) is drawn
+    from the shard RNG in the same per-user sequence as the scalar loop, but
+    *not* interleaved with per-segment exit draws (those move to per-session
+    `Philox` substreams spawned from the shard's seed sequence), so the
+    concrete traces and videos differ from a ``backend="scalar"`` run of the
+    same seed.  The substreams are what let the batch execute in any order —
+    lockstep included — without perturbing any session's draws.
+    """
+    start = time.perf_counter()
+    backend = get_backend(task.backend)
+    rng = np.random.default_rng(task.seed_seq)
+    specs: list[SessionSpec] = []
+    metas: list[tuple[str, int, int, float]] = []
+    controllers: dict[str, object] = {}
+
+    for profile in task.profiles:
+        abr_seed = int(rng.integers(2**31 - 1))
+        abr = task.abr_factory(profile, abr_seed)
+        controller = getattr(abr, "controller", None)
+        if controller is not None:
+            if profile.user_id in task.controller_states:
+                restore_controller_state(
+                    controller, task.controller_states[profile.user_id]
+                )
+            controllers[profile.user_id] = controller
+        exit_model = profile.exit_model()
+        scenario_profile = (
+            replace(profile, sessions_per_day=task.sessions_per_user)
+            if task.sessions_per_user is not None
+            else profile
+        )
+        num_sessions = task.scenario.sessions_for(scenario_profile, rng)
+        trace = task.scenario.trace_for(profile, rng, task.trace_length)
+        for session_index in range(num_sessions):
+            video = task.scenario.video_for(profile, task.library, rng)
+            specs.append(
+                SessionSpec(
+                    abr=abr,
+                    video=video,
+                    trace=trace,
+                    exit_model=exit_model,
+                    seed=task.seed_seq.spawn(1)[0],
+                    user_id=profile.user_id,
+                )
+            )
+            metas.append(
+                (profile.user_id, task.day, session_index, profile.mean_bandwidth_kbps)
+            )
+
+    playbacks = backend.run_batch(specs, task.session_config)
+    sessions = SessionLog.zip_with_playbacks(metas, playbacks)
+    return ShardOutput(
+        shard_index=task.shard_index,
+        sessions=sessions,
+        controller_states={
+            user_id: controller_state_payload(controller)
+            for user_id, controller in controllers.items()
+        },
+        num_segments=sum(len(playback) for playback in playbacks),
         wall_time_s=time.perf_counter() - start,
     )
 
@@ -360,6 +444,7 @@ class FleetOrchestrator:
                 controller_states={
                     p.user_id: states[p.user_id] for p in profiles if p.user_id in states
                 },
+                backend=config.backend,
             )
             for index, profiles in enumerate(shard_profiles)
             if profiles

@@ -11,6 +11,12 @@ simulated A/B campaigns (Figures 1, 12, 13) all run on:
 * :mod:`repro.sim.session` — the segment-by-segment playback loop that joins
   an ABR algorithm, the player and a user exit model into a
   :class:`~repro.sim.session.PlaybackTrace`.
+* :mod:`repro.sim.backend` — the pluggable :class:`SimBackend` seam
+  (``SessionSpec`` batches in, ``PlaybackTrace`` lists out) with the
+  ``"scalar"`` reference backend and per-session `Philox` RNG substreams.
+* :mod:`repro.sim.vector` — the ``"vector"`` struct-of-arrays backend that
+  advances N sessions per step as pure array math, reproducing the scalar
+  engine's traces segment for segment.
 * :mod:`repro.sim.traces` — trace file I/O and bundled synthetic trace sets.
 """
 
@@ -31,8 +37,32 @@ from repro.sim.session import (
     SessionConfig,
 )
 from repro.sim.traces import generate_trace_set, save_traces, load_traces
+from repro.sim.backend import (
+    ScalarBackend,
+    SessionSpec,
+    SimBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    run_sessions,
+    session_rng,
+    spawn_session_seeds,
+)
+from repro.sim.vector import ExitStepView, VectorBackend, VectorStepContext
 
 __all__ = [
+    "ScalarBackend",
+    "SessionSpec",
+    "SimBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "run_sessions",
+    "session_rng",
+    "spawn_session_seeds",
+    "ExitStepView",
+    "VectorBackend",
+    "VectorStepContext",
     "BitrateLadder",
     "Video",
     "VideoLibrary",

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.sim.bandwidth import BandwidthModel
 from repro.sim.video import Video
 
@@ -44,12 +46,12 @@ class SegmentResult:
 
 
 def dynamic_buffer_cap(
-    mean_bandwidth_kbps: float,
-    std_bandwidth_kbps: float,
+    mean_bandwidth_kbps,
+    std_bandwidth_kbps,
     base_cap: float = 12.0,
     min_cap: float = 8.0,
     max_cap: float = 30.0,
-) -> float:
+):
     """Online adjustment of ``B_max`` as a function of the bandwidth model.
 
     The paper states that ``B_max`` is a function of
@@ -59,13 +61,24 @@ def dynamic_buffer_cap(
     wasted downloads when the user exits).  We use a smooth rule with those
     properties: the cap grows with the coefficient of variation and shrinks
     with the mean bandwidth, clipped to ``[min_cap, max_cap]`` seconds.
+
+    Accepts scalars (returning ``float``) or same-shape arrays (returning an
+    array); the elementwise operation order is identical in both modes, so
+    the vector backend's caps match the scalar player's bit-for-bit.
     """
-    if mean_bandwidth_kbps <= 0:
+    if np.ndim(mean_bandwidth_kbps) == 0:
+        if mean_bandwidth_kbps <= 0:
+            raise ValueError("mean bandwidth must be positive")
+        coefficient_of_variation = max(std_bandwidth_kbps, 0.0) / mean_bandwidth_kbps
+        scarcity = 4000.0 / (mean_bandwidth_kbps + 1000.0)
+        cap = base_cap * (0.6 + 0.8 * coefficient_of_variation + 0.6 * scarcity)
+        return float(min(max(cap, min_cap), max_cap))
+    if np.any(mean_bandwidth_kbps <= 0):
         raise ValueError("mean bandwidth must be positive")
-    coefficient_of_variation = max(std_bandwidth_kbps, 0.0) / mean_bandwidth_kbps
+    coefficient_of_variation = np.maximum(std_bandwidth_kbps, 0.0) / mean_bandwidth_kbps
     scarcity = 4000.0 / (mean_bandwidth_kbps + 1000.0)
     cap = base_cap * (0.6 + 0.8 * coefficient_of_variation + 0.6 * scarcity)
-    return float(min(max(cap, min_cap), max_cap))
+    return np.minimum(np.maximum(cap, min_cap), max_cap)
 
 
 class PlayerEnvironment:

@@ -293,6 +293,13 @@ class PlaybackSession:
         cumulative_stall = 0.0
         stall_count = 0
         segments_since_stall = 0
+        # Hoisted per-video constants: the ladder, level count and segment
+        # duration are invariant across the loop, and the per-segment size
+        # tuples are cached on the video itself.
+        ladder = video.ladder
+        num_levels = ladder.num_levels
+        segment_duration = video.segment_duration
+        bandwidth_model = player.bandwidth_model
 
         for k in range(max_segments):
             context = ABRContext(
@@ -301,17 +308,17 @@ class PlaybackSession:
                 buffer_cap=player.buffer_cap,
                 last_level=last_level,
                 throughput_history_kbps=tuple(throughput_history[-8:]),
-                next_segment_sizes_kbit=tuple(video.sizes_for_segment(k)),
-                ladder=video.ladder,
-                segment_duration=video.segment_duration,
-                bandwidth_mean_kbps=player.bandwidth_model.mean,
-                bandwidth_std_kbps=player.bandwidth_model.std,
+                next_segment_sizes_kbit=video.sizes_tuple(k),
+                ladder=ladder,
+                segment_duration=segment_duration,
+                bandwidth_mean_kbps=bandwidth_model.mean,
+                bandwidth_std_kbps=bandwidth_model.std,
             )
             level = int(abr.select_level(context))
-            if not 0 <= level < video.ladder.num_levels:
+            if not 0 <= level < num_levels:
                 raise ValueError(
                     f"ABR returned invalid level {level} for a "
-                    f"{video.ladder.num_levels}-level ladder"
+                    f"{num_levels}-level ladder"
                 )
             bandwidth = trace.bandwidth_at(k)
             result: SegmentResult = player.step(level, bandwidth)
@@ -324,7 +331,7 @@ class PlaybackSession:
                 segments_since_stall += 1
             throughput_history.append(result.throughput_kbps)
 
-            watch_time = (k + 1) * video.segment_duration
+            watch_time = (k + 1) * segment_duration
             exit_probability = 0.0
             exited = False
             if exit_model is not None:

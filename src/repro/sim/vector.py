@@ -1,0 +1,461 @@
+"""Struct-of-arrays vectorized simulation backend.
+
+:class:`VectorBackend` advances N playback sessions in lockstep, one segment
+per step, with all per-session state held in NumPy arrays: buffers, selected
+levels, throughput windows, stall counters, and per-session `Philox` RNG
+substreams (pre-generated uniform draws).  Equation 3 — download time, stall,
+dynamic ``B_max``, waiting time — becomes pure array math over the whole
+batch, ABR decisions come from the policies' ``vector_kernel`` classmethods
+(throughput rule, HYB, BBA), and exit decisions from the engagement models'
+``vector_exit_kernel`` classmethods.
+
+Equivalence gate
+----------------
+For the same :class:`~repro.sim.backend.SessionSpec` batch, this backend
+reproduces :class:`~repro.sim.backend.ScalarBackend` traces **segment for
+segment** (exact `SegmentRecord` equality, enforced by
+``tests/test_vector_backend.py``).  Three design rules make that possible:
+
+* every session draws exit uniforms from its own `Philox` substream
+  (:func:`~repro.sim.backend.session_rng`), so lockstep reordering cannot
+  shift anyone's randomness — a pre-generated ``rng.random(n)`` row equals
+  ``n`` sequential ``rng.random()`` calls on the same stream;
+* all array expressions mirror the scalar code's floating-point operation
+  order (including the bandwidth-window mean/std reductions, which NumPy
+  evaluates with the same pairwise summation row-wise as it does for the
+  scalar model's 1-D window);
+* the rare, profile-specific stall response of
+  :class:`~repro.users.engagement.QoSAwareExitModel` is evaluated by calling
+  the *scalar* profile method on the masked stalled rows, not by a parallel
+  reimplementation.
+
+Sessions whose ABR or exit model has no vector kernel (BOLA, RobustMPC,
+Pensieve, LingXi-wrapped algorithms, custom exit models) transparently fall
+back to the scalar engine behind the same ``run_batch`` interface, in spec
+order — so stateful per-user algorithms still see their sessions sequentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.sim.backend import (
+    ScalarBackend,
+    SessionSpec,
+    SimBackend,
+    register_backend,
+    resolve_session_seeds,
+    session_rng,
+)
+from repro.sim.bandwidth import BandwidthModel
+from repro.sim.player import dynamic_buffer_cap
+from repro.sim.session import PlaybackTrace, SegmentRecord, SessionConfig
+
+#: Sliding-window length of the player's bandwidth model (and of the
+#: throughput history handed to ABR contexts) — both are 8 in the scalar
+#: engine, which is what lets one window array serve both consumers.
+_WINDOW = BandwidthModel().window
+_PRIOR_MEAN = BandwidthModel().prior_mean_kbps
+_PRIOR_STD = BandwidthModel().prior_std_kbps
+
+
+@dataclass
+class VectorStepContext:
+    """Struct-of-arrays ABR context for one lockstep step (one row per session).
+
+    The vector twin of :class:`~repro.sim.session.ABRContext`: same
+    quantities, arrays instead of scalars.  ``last_level`` uses ``-1`` where
+    the scalar context would carry ``None`` (before the first segment).
+    """
+
+    k: int
+    buffer: np.ndarray
+    buffer_cap: np.ndarray
+    last_level: np.ndarray
+    segment_sizes: np.ndarray  # (N, num_levels) sizes of this step's segment
+    throughput_window: np.ndarray  # (N, min(k, 8)) recent throughputs, oldest first
+    bandwidth_mean: np.ndarray
+    bandwidth_std: np.ndarray
+    bitrates: np.ndarray  # (num_levels,) shared ladder
+    segment_duration: float
+
+    def harmonic_throughput(self, windows: np.ndarray) -> np.ndarray:
+        """Per-session harmonic-mean throughput over the last ``windows[i]`` samples.
+
+        Mirrors :meth:`repro.abr.base.ABRAlgorithm.estimate_throughput`
+        (falling back to the bandwidth-model mean when no history exists yet).
+        Sessions are grouped by window length so each group reduces over the
+        same slice shape the scalar estimator sees.
+        """
+        available = self.throughput_window.shape[1]
+        unique = np.unique(windows)
+        if unique.size == 1:
+            effective = min(int(unique[0]), available)
+            if effective == 0:
+                return self.bandwidth_mean.copy()
+            values = self.throughput_window[:, available - effective :]
+            return effective / np.sum(1.0 / values, axis=1)
+        out = np.empty(windows.shape[0])
+        for window in unique:
+            rows = windows == window
+            effective = min(int(window), available)
+            if effective == 0:
+                out[rows] = self.bandwidth_mean[rows]
+            else:
+                values = self.throughput_window[rows][:, available - effective :]
+                out[rows] = effective / np.sum(1.0 / values, axis=1)
+        return out
+
+
+@dataclass
+class ExitStepView:
+    """Struct-of-arrays exit-model view for one lockstep step.
+
+    The vector twin of :class:`~repro.sim.session.ExitObservation` (plus the
+    ``active``/``stalled`` masks kernels need for masked scalar fallbacks).
+    ``watch_time`` is a scalar: in lockstep every session is at the same
+    segment index.  ``previous_level`` uses ``-1`` for ``None``.
+    """
+
+    k: int
+    level: np.ndarray
+    previous_level: np.ndarray
+    stall_time: np.ndarray
+    cumulative_stall_time: np.ndarray
+    stall_count: np.ndarray
+    watch_time: float
+    buffer: np.ndarray
+    throughput: np.ndarray
+    active: np.ndarray
+    stalled: np.ndarray
+
+
+class VectorBackend(SimBackend):
+    """Lockstep struct-of-arrays execution of a batch of session specs."""
+
+    name = "vector"
+
+    def run_batch(
+        self, specs, config: SessionConfig | None = None
+    ) -> list[PlaybackTrace]:
+        config = config or SessionConfig()
+        # Pin every spec's seed against the *original* batch order before
+        # regrouping, so unseeded specs get the same position-derived
+        # substream the scalar backend would assign them.
+        specs = [
+            spec if isinstance(spec.seed, np.random.SeedSequence) else replace(spec, seed=seed)
+            for spec, seed in zip(specs, resolve_session_seeds(specs))
+        ]
+        results: list[PlaybackTrace | None] = [None] * len(specs)
+
+        groups: dict[tuple, list[int]] = {}
+        fallback: list[int] = []
+        for index, spec in enumerate(specs):
+            if self._vectorizable(spec):
+                key = (
+                    type(spec.abr),
+                    None if spec.exit_model is None else type(spec.exit_model),
+                    spec.video.ladder.bitrates_kbps,
+                    spec.video.segment_duration,
+                )
+                groups.setdefault(key, []).append(index)
+            else:
+                fallback.append(index)
+
+        for indices in groups.values():
+            traces = self._run_group([specs[i] for i in indices], config)
+            for index, trace in zip(indices, traces):
+                results[index] = trace
+
+        if fallback:
+            fallback_traces = ScalarBackend().run_batch(
+                [specs[index] for index in fallback], config
+            )
+            for index, trace in zip(fallback, fallback_traces):
+                results[index] = trace
+        return results
+
+    @staticmethod
+    def _vectorizable(spec: SessionSpec) -> bool:
+        """True when both the ABR and the exit model ship vector kernels.
+
+        The kernel must be defined by the spec's *exact* class (``__dict__``
+        lookup, not inheritance): a subclass that overrides ``select_level``
+        without providing its own kernel must fall back to the scalar engine
+        rather than silently run the parent's vectorized decision rule.
+        ABRs with an ``observe`` feedback hook (LingXi wrappers) are stateful
+        per segment and always fall back.
+        """
+        if "vector_kernel" not in type(spec.abr).__dict__:
+            return False
+        if getattr(spec.abr, "observe", None) is not None:
+            return False
+        if spec.exit_model is not None:
+            if "vector_exit_kernel" not in type(spec.exit_model).__dict__:
+                return False
+        return True
+
+    def _run_group(
+        self, specs: list[SessionSpec], config: SessionConfig
+    ) -> list[PlaybackTrace]:
+        """Advance one homogeneous group (same ABR/exit types, same ladder)."""
+        num_sessions = len(specs)
+        first_video = specs[0].video
+        segment_duration = float(first_video.segment_duration)
+        bitrates = np.asarray(first_video.ladder.bitrates_kbps, dtype=float)
+        num_levels = bitrates.size
+
+        max_seg = np.empty(num_sessions, dtype=int)
+        for i, spec in enumerate(specs):
+            limit = spec.video.num_segments
+            if config.max_segments is not None:
+                limit = min(limit, config.max_segments)
+            max_seg[i] = limit
+        max_steps = int(max_seg.max())
+
+        # Preallocated per-session inputs: cyclic bandwidth rows and the
+        # (N, max_steps, L) segment-size tensor (videos and traces repeat
+        # across sessions of the same user, so both are cached by identity).
+        bandwidth = np.empty((num_sessions, max_steps))
+        trace_rows: dict[int, np.ndarray] = {}
+        for i, spec in enumerate(specs):
+            row = trace_rows.get(id(spec.trace))
+            if row is None:
+                row = np.resize(
+                    np.asarray(spec.trace.values_kbps, dtype=float), max_steps
+                )
+                trace_rows[id(spec.trace)] = row
+            bandwidth[i] = row
+        sizes = np.empty((num_sessions, max_steps, num_levels))
+        video_rows: dict[int, np.ndarray] = {}
+        step_index = np.arange(max_steps)
+        for i, spec in enumerate(specs):
+            block = video_rows.get(id(spec.video))
+            if block is None:
+                block = spec.video.segment_sizes_kbit[
+                    step_index % spec.video.num_segments
+                ]
+                video_rows[id(spec.video)] = block
+            sizes[i] = block
+
+        abr_kernel = type(specs[0].abr).vector_kernel([spec.abr for spec in specs])
+        for spec in specs:
+            spec.abr.reset()
+
+        has_exit = specs[0].exit_model is not None
+        exit_models = [spec.exit_model for spec in specs]
+        if has_exit:
+            exit_kernel = type(exit_models[0]).vector_exit_kernel(exit_models)
+            for model in exit_models:
+                model.reset()
+            # One Philox substream per session, pre-drawn: row i's uniforms
+            # equal the sequence the scalar engine would draw step by step.
+            uniforms = np.empty((num_sessions, max_steps))
+            for i, spec in enumerate(specs):
+                uniforms[i] = session_rng(spec.seed).random(max_steps)
+
+        buffer = np.full(num_sessions, float(config.initial_buffer))
+        last_level = np.full(num_sessions, -1, dtype=int)
+        cumulative_stall = np.zeros(num_sessions)
+        stall_count = np.zeros(num_sessions, dtype=int)
+        alive = np.ones(num_sessions, dtype=bool)
+        exited_early = np.zeros(num_sessions, dtype=bool)
+        steps_taken = np.zeros(num_sessions, dtype=int)
+
+        level_rec = np.zeros((num_sessions, max_steps), dtype=int)
+        size_rec = np.empty((num_sessions, max_steps))
+        download_rec = np.empty((num_sessions, max_steps))
+        stall_rec = np.empty((num_sessions, max_steps))
+        wait_rec = np.empty((num_sessions, max_steps))
+        buffer_before_rec = np.empty((num_sessions, max_steps))
+        buffer_after_rec = np.empty((num_sessions, max_steps))
+        cumulative_rec = np.empty((num_sessions, max_steps))
+        stall_count_rec = np.zeros((num_sessions, max_steps), dtype=int)
+        probability_rec = np.zeros((num_sessions, max_steps))
+
+        row_index = np.arange(num_sessions)
+        for k in range(max_steps):
+            active = alive & (k < max_seg)
+            if not active.any():
+                break
+
+            # Bandwidth-window statistics *before* observing this step's
+            # throughput — columns [k-8, k), exactly the scalar model's window.
+            if k == 0:
+                window = bandwidth[:, 0:0]
+                mean = np.full(num_sessions, _PRIOR_MEAN)
+            else:
+                window = bandwidth[:, max(0, k - _WINDOW) : k]
+                mean = window.mean(axis=1)
+            if k < 2:
+                std = np.full(num_sessions, _PRIOR_STD)
+            else:
+                std = np.maximum(np.std(window, axis=1, ddof=1), 1e-6)
+            buffer_cap = dynamic_buffer_cap(
+                mean, std, base_cap=config.base_buffer_cap
+            )
+
+            context = VectorStepContext(
+                k=k,
+                buffer=buffer,
+                buffer_cap=buffer_cap,
+                last_level=last_level,
+                segment_sizes=sizes[:, k, :],
+                throughput_window=window,
+                bandwidth_mean=mean,
+                bandwidth_std=std,
+                bitrates=bitrates,
+                segment_duration=segment_duration,
+            )
+            levels = np.asarray(abr_kernel(context), dtype=int)
+            if levels.min() < 0 or levels.max() >= num_levels:
+                raise ValueError(
+                    f"vector ABR kernel returned levels outside "
+                    f"[0, {num_levels}) at step {k}"
+                )
+
+            # Equation 3, batched (same operation order as PlayerEnvironment.step).
+            bandwidth_k = bandwidth[:, k]
+            size = sizes[:, k, :][row_index, levels]
+            download = size / bandwidth_k
+            if k == 0:
+                stall = np.where(
+                    buffer == 0.0, 0.0, np.maximum(download - buffer, 0.0)
+                )
+            else:
+                stall = np.maximum(download - buffer, 0.0)
+            drained = np.maximum(buffer - download, 0.0)
+            unclipped = drained + segment_duration
+            overflow = np.maximum(unclipped - buffer_cap, 0.0)
+            wait = overflow + config.rtt
+            buffer_after = np.maximum(unclipped - overflow, 0.0)
+            buffer_after = np.minimum(buffer_after, buffer_cap)
+
+            stalled = stall > 1e-12
+            cumulative_stall = np.where(
+                active, cumulative_stall + stall, cumulative_stall
+            )
+            stall_count = stall_count + (active & stalled)
+
+            if has_exit:
+                view = ExitStepView(
+                    k=k,
+                    level=levels,
+                    previous_level=last_level,
+                    stall_time=stall,
+                    cumulative_stall_time=cumulative_stall,
+                    stall_count=stall_count,
+                    watch_time=(k + 1) * segment_duration,
+                    buffer=buffer_after,
+                    throughput=bandwidth_k,
+                    active=active,
+                    stalled=stalled,
+                )
+                probabilities = np.asarray(exit_kernel(view), dtype=float)
+                # NaN must fail this check too (the scalar engine's
+                # `not 0.0 <= p <= 1.0` rejects it), hence the negated form.
+                if np.any(active & ~((probabilities >= 0.0) & (probabilities <= 1.0))):
+                    raise ValueError("exit probability must be in [0, 1]")
+                exits = active & (uniforms[:, k] < probabilities)
+                probability_rec[:, k] = probabilities
+            else:
+                exits = np.zeros(num_sessions, dtype=bool)
+
+            level_rec[:, k] = levels
+            size_rec[:, k] = size
+            download_rec[:, k] = download
+            stall_rec[:, k] = stall
+            wait_rec[:, k] = wait
+            buffer_before_rec[:, k] = buffer
+            buffer_after_rec[:, k] = buffer_after
+            cumulative_rec[:, k] = cumulative_stall
+            stall_count_rec[:, k] = stall_count
+
+            steps_taken[active] = k + 1
+            exited_early |= exits
+            alive &= ~exits
+            buffer = np.where(active, buffer_after, buffer)
+            last_level = np.where(active, levels, last_level)
+
+        return [
+            self._assemble_trace(
+                spec,
+                int(steps_taken[i]),
+                bool(exited_early[i]),
+                segment_duration,
+                bitrates,
+                levels_row=level_rec[i],
+                size_row=size_rec[i],
+                bandwidth_row=bandwidth[i],
+                download_row=download_rec[i],
+                stall_row=stall_rec[i],
+                wait_row=wait_rec[i],
+                buffer_before_row=buffer_before_rec[i],
+                buffer_after_row=buffer_after_rec[i],
+                cumulative_row=cumulative_rec[i],
+                stall_count_row=stall_count_rec[i],
+                probability_row=probability_rec[i],
+            )
+            for i, spec in enumerate(specs)
+        ]
+
+    @staticmethod
+    def _assemble_trace(
+        spec: SessionSpec,
+        num_segments: int,
+        exited_early: bool,
+        segment_duration: float,
+        bitrates: np.ndarray,
+        *,
+        levels_row,
+        size_row,
+        bandwidth_row,
+        download_row,
+        stall_row,
+        wait_row,
+        buffer_before_row,
+        buffer_after_row,
+        cumulative_row,
+        stall_count_row,
+        probability_row,
+    ) -> PlaybackTrace:
+        """Materialise one session's column slices into a PlaybackTrace."""
+        n = num_segments
+        levels = levels_row[:n]
+        exited_flags = [False] * n
+        if n and exited_early:
+            exited_flags[-1] = True
+        watch_times = ((np.arange(n) + 1) * segment_duration).tolist()
+        records = [
+            SegmentRecord(*row)
+            for row in zip(
+                range(n),
+                levels.tolist(),
+                bitrates[levels].tolist(),
+                size_row[:n].tolist(),
+                bandwidth_row[:n].tolist(),
+                download_row[:n].tolist(),
+                stall_row[:n].tolist(),
+                wait_row[:n].tolist(),
+                buffer_before_row[:n].tolist(),
+                buffer_after_row[:n].tolist(),
+                watch_times,
+                cumulative_row[:n].tolist(),
+                stall_count_row[:n].tolist(),
+                probability_row[:n].tolist(),
+                exited_flags,
+            )
+        ]
+        return PlaybackTrace(
+            user_id=spec.user_id,
+            video_duration=spec.video.duration,
+            segment_duration=spec.video.segment_duration,
+            trace_name=spec.trace.name,
+            records=records,
+            exited_early=exited_early,
+        )
+
+
+register_backend("vector", VectorBackend)

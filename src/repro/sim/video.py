@@ -135,6 +135,12 @@ class Video:
     seed: int = 0
     #: (num_segments, num_levels) matrix of sizes in kilobits.
     segment_sizes_kbit: np.ndarray = field(init=False, repr=False)
+    #: Lazily built per-segment size tuples (the ABRContext hot path reads a
+    #: tuple per segment; building them once per video beats re-tupling the
+    #: size matrix row on every simulated segment).
+    _sizes_tuple_cache: list | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.num_segments <= 0:
@@ -171,6 +177,15 @@ class Video:
     def sizes_for_segment(self, index: int) -> np.ndarray:
         """All rung sizes (kilobits) for segment ``index``."""
         return self.segment_sizes_kbit[index % self.num_segments].copy()
+
+    def sizes_tuple(self, index: int) -> tuple[float, ...]:
+        """All rung sizes for segment ``index`` as a cached tuple of floats."""
+        cache = self._sizes_tuple_cache
+        if cache is None:
+            cache = self._sizes_tuple_cache = [
+                tuple(map(float, row)) for row in self.segment_sizes_kbit
+            ]
+        return cache[index % self.num_segments]
 
 
 class VideoLibrary:

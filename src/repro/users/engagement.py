@@ -67,6 +67,25 @@ class BaselineExitModel:
     def reset(self) -> None:
         """Stateless — nothing to reset."""
 
+    @classmethod
+    def vector_exit_kernel(cls, models):
+        """Batched :meth:`exit_probability` over a struct-of-arrays step view.
+
+        Returns ``kernel(view) -> probabilities`` where ``view`` is a
+        :class:`repro.sim.vector.ExitStepView` with one row per model.  The
+        hazard expression is evaluated elementwise in the same operation
+        order as the scalar method, so outputs match bit-for-bit.
+        """
+        base = np.asarray([m.base_hazard for m in models], dtype=float)
+        floor = np.asarray([m.floor_hazard for m in models], dtype=float)
+        decay_time = np.asarray([m.decay_time_s for m in models], dtype=float)
+
+        def kernel(view) -> np.ndarray:
+            decay = np.exp(-view.watch_time / decay_time)
+            return floor + (base - floor) * decay
+
+        return kernel
+
 
 @dataclass
 class QoSAwareExitModel:
@@ -117,6 +136,60 @@ class QoSAwareExitModel:
     def reset(self) -> None:
         """Stateless — nothing to reset."""
 
+    @classmethod
+    def vector_exit_kernel(cls, models):
+        """Batched :meth:`exit_probability` over a struct-of-arrays step view.
+
+        The content/quality/smoothness terms are pure array math in the same
+        operation order as the scalar method.  The stall response — rare by
+        construction (stalls are the long-tail event the paper studies) — is
+        delegated to each stalled row's own
+        :meth:`~repro.users.perception.StallSensitivityProfile.stall_exit_probability`
+        in a masked scalar loop, so the per-user response curves (and their
+        ``math.exp`` rounding) are reproduced exactly.
+        """
+        base = np.asarray([m.baseline.base_hazard for m in models], dtype=float)
+        floor = np.asarray([m.baseline.floor_hazard for m in models], dtype=float)
+        decay_time = np.asarray([m.baseline.decay_time_s for m in models], dtype=float)
+        switch_penalty = np.asarray([m.switch_penalty for m in models], dtype=float)
+        downward_extra = np.asarray(
+            [m.downward_switch_extra for m in models], dtype=float
+        )
+        num_offsets = np.asarray(
+            [len(m.quality_offsets) for m in models], dtype=int
+        )
+        offsets = np.zeros((len(models), int(num_offsets.max())))
+        for row, model in enumerate(models):
+            offsets[row, : len(model.quality_offsets)] = model.quality_offsets
+        rows_index = np.arange(len(models))
+
+        def kernel(view) -> np.ndarray:
+            decay = np.exp(-view.watch_time / decay_time)
+            probability = floor + (base - floor) * decay
+            level = np.minimum(view.level, num_offsets - 1)
+            probability = probability + offsets[rows_index, level]
+            switch = np.where(
+                view.previous_level < 0, 0, view.level - view.previous_level
+            )
+            probability = probability + np.where(
+                switch != 0, switch_penalty * np.minimum(np.abs(switch), 3), 0.0
+            )
+            probability = probability + np.where(switch < 0, downward_extra, 0.0)
+            for row in np.flatnonzero(view.active & view.stalled):
+                model = models[row]
+                stall_probability = model.profile.stall_exit_probability(
+                    float(view.cumulative_stall_time[row]),
+                    int(view.stall_count[row]),
+                )
+                if view.watch_time > model.engagement_time_s:
+                    stall_probability *= model.engagement_stall_discount
+                if view.level[row] >= len(model.quality_offsets) - 1:
+                    stall_probability *= 1.15
+                probability[row] += stall_probability
+            return np.minimum(np.maximum(probability, 0.0), 1.0)
+
+        return kernel
+
 
 @dataclass
 class RuleBasedUser:
@@ -148,6 +221,24 @@ class RuleBasedUser:
 
     def reset(self) -> None:
         """Stateless — nothing to reset."""
+
+    @classmethod
+    def vector_exit_kernel(cls, models):
+        """Batched :meth:`exit_probability`: two threshold comparisons."""
+        time_threshold = np.asarray(
+            [m.stall_time_threshold_s for m in models], dtype=float
+        )
+        count_threshold = np.asarray(
+            [m.stall_count_threshold for m in models], dtype=int
+        )
+
+        def kernel(view) -> np.ndarray:
+            crossed = (view.cumulative_stall_time >= time_threshold) | (
+                view.stall_count >= count_threshold
+            )
+            return np.where(crossed, 1.0, 0.0)
+
+        return kernel
 
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
