@@ -1,0 +1,240 @@
+"""Networked-vs-uncoupled vector backend: allocator overhead and congestion.
+
+Two measurements on the same N-session HYB workload:
+
+* **Overhead** — sessions/second of the vector backend with and without a
+  shared-bottleneck topology at N ∈ {64, 1024}.  The per-slot fair-share
+  allocation must stay bounded: ≤2x slowdown at N=1024 (asserted).  The
+  topology is provisioned generously so the traces stay comparable in
+  length (congestion changes session dynamics, not just timing).
+* **Emergent congestion** — on a fixed hot link, mean allocated throughput
+  per session must fall monotonically as concurrency rises (asserted), with
+  the utilization climbing toward 1: nobody scales a trace, the collapse
+  comes from the allocator dividing finite capacity.
+
+Run directly (CI smoke uses ``NETWORK_BENCH_SIZES`` for a tiny run)::
+
+    PYTHONPATH=src python benchmarks/bench_network_throughput.py
+    PYTHONPATH=src NETWORK_BENCH_SIZES=16,64 python benchmarks/bench_network_throughput.py
+
+or through pytest alongside the other benchmarks::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_network_throughput.py -q -s
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import time
+
+import numpy as np
+
+from emit import emit_bench
+from repro.abr.hyb import HYB
+from repro.analytics.logs import LinkUtilizationLog
+from repro.experiments.common import format_table
+from repro.net import EdgeLink, NetworkTopology
+from repro.sim import SessionSpec, get_backend, spawn_session_seeds
+from repro.sim.bandwidth import StationaryTraceGenerator
+from repro.sim.session import SessionConfig
+from repro.sim.video import Video
+from repro.users.population import UserPopulation
+
+DEFAULT_SIZES = (64, 1024)
+#: Acceptance ceiling: the allocator's cost at the largest batch.
+MAX_SLOWDOWN_AT_1024 = 2.0
+
+
+def _build_specs(num_sessions: int) -> list[SessionSpec]:
+    population = UserPopulation.generate(
+        num_sessions, seed=7, bandwidth_median_kbps=3000.0
+    )
+    video = Video(num_segments=60, seed=3)
+    trace = StationaryTraceGenerator(2500.0, 600.0).generate(
+        100, np.random.default_rng(0)
+    )
+    abr = HYB()
+    seeds = spawn_session_seeds(0, num_sessions)
+    return [
+        SessionSpec(
+            abr=abr,
+            video=video,
+            trace=trace,
+            exit_model=profile.exit_model(),
+            seed=seeds[i],
+            user_id=profile.user_id,
+        )
+        for i, profile in enumerate(population)
+    ]
+
+
+def _roomy_topology(num_sessions: int) -> NetworkTopology:
+    """Eight links with headroom: exercises the allocator, not congestion."""
+    per_link_sessions = max(num_sessions / 8, 1.0)
+    capacity = 4000.0 * per_link_sessions
+    return NetworkTopology(
+        name="roomy8",
+        links=tuple(EdgeLink(f"edge{i}", capacity) for i in range(8)),
+    )
+
+
+def _time_run(specs, network) -> float:
+    backend = get_backend("vector")
+    config = SessionConfig()
+    backend.run_batch(specs[:1], config, network=network)  # warm-up
+    start = time.perf_counter()
+    backend.run_batch(specs, config, network=network)
+    return time.perf_counter() - start
+
+
+def run_overhead_bench(sizes=DEFAULT_SIZES, check_overhead: bool = True) -> list[dict]:
+    """Networked vs uncoupled vector throughput at each batch size."""
+    rows = []
+    for num_sessions in sizes:
+        specs = _build_specs(num_sessions)
+        plain_time = _time_run(specs, None)
+        networked_time = _time_run(specs, _roomy_topology(num_sessions))
+        rows.append(
+            {
+                "sessions": num_sessions,
+                "plain_sps": num_sessions / plain_time,
+                "networked_sps": num_sessions / networked_time,
+                "slowdown": networked_time / plain_time,
+            }
+        )
+
+    print("\nnetworked vector backend overhead (8-link roomy topology):")
+    print(
+        format_table(
+            ["N", "uncoupled sessions/s", "networked sessions/s", "slowdown"],
+            [
+                [
+                    row["sessions"],
+                    f"{row['plain_sps']:.0f}",
+                    f"{row['networked_sps']:.0f}",
+                    f"{row['slowdown']:.2f}x",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    if check_overhead:
+        for row in rows:
+            if row["sessions"] >= 1024:
+                assert row["slowdown"] <= MAX_SLOWDOWN_AT_1024, (
+                    f"allocator overhead {row['slowdown']:.2f}x at "
+                    f"N={row['sessions']} (need <= {MAX_SLOWDOWN_AT_1024}x)"
+                )
+    return rows
+
+
+def run_congestion_bench(sizes=(16, 64, 256, 1024), check: bool = True) -> list[dict]:
+    """Mean per-session allocation on one hot link as concurrency rises."""
+    topology = NetworkTopology(
+        name="hotlink", links=(EdgeLink("hot", 200_000.0),)
+    )
+    rows = []
+    for num_sessions in sizes:
+        usage = []
+        get_backend("vector").run_batch(
+            _build_specs(num_sessions),
+            SessionConfig(),
+            network=topology,
+            link_usage=usage,
+        )
+        log = LinkUtilizationLog(usage)
+        rows.append(
+            {
+                "sessions": num_sessions,
+                "per_session_kbps": log.mean_allocated_per_session_kbps("hot"),
+                "utilization": log.mean_utilization("hot"),
+                "congested_slots": log.congested_slot_fraction("hot"),
+            }
+        )
+
+    print("\nemergent congestion on one 200 Mbps link:")
+    print(
+        format_table(
+            ["N", "mean kbps/session", "utilization", "congested slots"],
+            [
+                [
+                    row["sessions"],
+                    f"{row['per_session_kbps']:.0f}",
+                    f"{row['utilization']:.2f}",
+                    f"{row['congested_slots'] * 100:.0f}%",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    if check:
+        # Only congested sizes are comparable: below saturation every demand
+        # is served in full and the busy-slot average drifts with exit
+        # timing, not load.  Once the link congests, more concurrency must
+        # strictly mean less per-session throughput.
+        congested = [row for row in rows if row["congested_slots"] > 0.5]
+        throughputs = [row["per_session_kbps"] for row in congested]
+        assert all(
+            earlier > later for earlier, later in zip(throughputs, throughputs[1:])
+        ), f"per-session throughput must fall with congested concurrency: {throughputs}"
+        if congested and len(rows) > len(congested):
+            assert congested[-1]["per_session_kbps"] < rows[0]["per_session_kbps"]
+    return rows
+
+
+def _sizes_from_env() -> tuple[int, ...]:
+    raw = os.environ.get("NETWORK_BENCH_SIZES")
+    if not raw:
+        return DEFAULT_SIZES
+    return tuple(int(part) for part in raw.split(",") if part.strip())
+
+
+def run_bench(sizes=None, check_overhead: bool = True) -> dict:
+    sizes = sizes or _sizes_from_env()
+    overhead = run_overhead_bench(sizes, check_overhead=check_overhead)
+    congestion = run_congestion_bench(
+        tuple(sorted({max(size // 4, 2) for size in sizes} | set(sizes))),
+        check=check_overhead,
+    )
+    results = {"overhead": overhead, "congestion": congestion}
+    emit_bench(
+        "network_throughput",
+        results,
+        config={"sizes": list(sizes), "max_slowdown_at_1024": MAX_SLOWDOWN_AT_1024},
+    )
+    return results
+
+
+def test_network_throughput(benchmark):
+    """Pytest entry point (sizes overridable via NETWORK_BENCH_SIZES)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    run_bench()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        help="comma-separated batch sizes (default: env NETWORK_BENCH_SIZES or 64,1024)",
+    )
+    parser.add_argument(
+        "--no-assert",
+        action="store_true",
+        help=(
+            "report only; skip the <=2x overhead assertion at N>=1024 and "
+            "the congestion monotonicity assertion"
+        ),
+    )
+    args = parser.parse_args()
+    sizes = (
+        tuple(int(part) for part in args.sizes.split(",") if part.strip())
+        if args.sizes
+        else None
+    )
+    run_bench(sizes, check_overhead=not args.no_assert)
+
+
+if __name__ == "__main__":
+    main()

@@ -24,6 +24,7 @@ import time
 
 import numpy as np
 
+from emit import emit_bench
 from repro.abr.hyb import HYB
 from repro.experiments.common import format_table
 from repro.sim import SessionSpec, get_backend, spawn_session_seeds
@@ -113,6 +114,11 @@ def run_bench(sizes=DEFAULT_SIZES, check_speedup: bool = True) -> list[dict]:
                     f"vector backend only {row['speedup']:.2f}x at "
                     f"N={row['sessions']} (need >= {MIN_SPEEDUP_AT_1024}x)"
                 )
+    emit_bench(
+        "vector_throughput",
+        rows,
+        config={"sizes": [row["sessions"] for row in rows]},
+    )
     return rows
 
 

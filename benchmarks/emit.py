@@ -1,0 +1,50 @@
+"""Machine-readable benchmark results.
+
+Every benchmark that prints a table also calls :func:`emit_bench` to write a
+``BENCH_<name>.json`` file — one JSON document per benchmark with the
+configuration and the measured rows — so the repo's performance trajectory
+can be tracked across commits and CI runs instead of living in scrollback.
+
+The output directory defaults to the current working directory and can be
+redirected with ``BENCH_OUTPUT_DIR``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+
+def _to_builtin(value):
+    """JSON fallback for numpy scalars/arrays."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"not JSON serialisable: {type(value)!r}")
+
+
+def emit_bench(name: str, results, config: dict | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    ``results`` is the benchmark's row list (or any JSON-serialisable
+    structure); ``config`` records the knobs the numbers were measured under.
+    """
+    out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"BENCH_{name}.json"
+    document = {
+        "bench": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "config": config or {},
+        "results": results,
+    }
+    path.write_text(json.dumps(document, indent=2, default=_to_builtin) + "\n")
+    return path

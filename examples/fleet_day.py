@@ -19,8 +19,10 @@ from repro.fleet import (
     FleetConfig,
     FleetOrchestrator,
     available_scenarios,
+    replay_link_utilization,
     replay_log_collection,
 )
+from repro.net import available_topologies, get_topology
 from repro.sim import available_backends
 from repro.sim.video import VideoLibrary
 from repro.users.population import UserPopulation
@@ -41,6 +43,15 @@ def main() -> None:
         default="scalar",
         choices=available_backends(),
         help="simulation backend executing each shard's sessions",
+    )
+    parser.add_argument(
+        "--network",
+        default=None,
+        choices=available_topologies(),
+        help=(
+            "shared-bottleneck topology: sessions fair-share edge-link "
+            "capacity and congestion becomes emergent (default: uncoupled)"
+        ),
     )
     parser.add_argument("--users", type=int, default=500)
     parser.add_argument("--sessions-per-user", type=int, default=4)
@@ -71,12 +82,14 @@ def main() -> None:
             trace_length=100,
             seed=args.seed,
             backend=args.backend,
+            network=args.network,
         )
     )
+    network_label = f", {args.network} network" if args.network else ""
     print(
         f"simulating {args.users} users x {args.sessions_per_user} sessions "
-        f"({args.scenario}) on {args.shards} shards / {args.workers} workers "
-        f"[{args.backend} backend] ..."
+        f"({args.scenario}{network_label}) on {args.shards} shards / "
+        f"{args.workers} workers [{args.backend} backend] ..."
     )
     result = orchestrator.run(
         population,
@@ -113,6 +126,25 @@ def main() -> None:
     for edge, rate in zip(STALL_BINS, live):
         label = "n/a" if np.isnan(rate) else f"{rate * 100:.2f}%"
         print(f"  stall >= {edge:>4.1f}s: {label}")
+
+    if args.network:
+        live_util = result.link_utilization()
+        replayed_util = replay_link_utilization(telemetry_path)
+        assert replayed_util.mean_utilization() == live_util.mean_utilization()
+        print("\nlink utilization (replayed exactly from telemetry):")
+        seen = set(live_util.links())
+        for link_id in get_topology(args.network).link_ids:
+            if link_id not in seen:
+                # always-idle links carry no usage samples (trailing-idle
+                # samples are trimmed per link)
+                print(f"  {link_id:>12}: idle all day")
+                continue
+            print(
+                f"  {link_id:>12}: mean util {live_util.mean_utilization(link_id) * 100:5.1f}%, "
+                f"peak {live_util.peak_active_sessions(link_id)} sessions, "
+                f"congested slots {live_util.congested_slot_fraction(link_id) * 100:.0f}%, "
+                f"{live_util.mean_allocated_per_session_kbps(link_id):.0f} kbps/session"
+            )
 
 
 if __name__ == "__main__":

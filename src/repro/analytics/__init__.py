@@ -12,7 +12,7 @@
 """
 
 from repro.analytics.qoe import qoe_lin, qoe_lin_components, session_qoe_lin
-from repro.analytics.logs import SessionLog, LogCollection
+from repro.analytics.logs import SessionLog, LogCollection, LinkUtilizationLog
 from repro.analytics.metrics import GroupDailyMetrics, aggregate_daily_metrics
 from repro.analytics.abtest import (
     ABTestResult,
@@ -28,6 +28,7 @@ __all__ = [
     "session_qoe_lin",
     "SessionLog",
     "LogCollection",
+    "LinkUtilizationLog",
     "GroupDailyMetrics",
     "aggregate_daily_metrics",
     "ABTestResult",

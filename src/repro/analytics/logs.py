@@ -338,3 +338,94 @@ class LogCollection:
     def extend(self, other: "LogCollection") -> "LogCollection":
         """New collection containing this corpus followed by ``other``."""
         return LogCollection(list(self._sessions) + list(other.sessions))
+
+
+class LinkUtilizationLog:
+    """Per-slot, per-link utilization analytics for networked fleet runs.
+
+    Built from the :class:`~repro.net.allocator.LinkUsageSample` stream a
+    networked run produces (live via ``FleetResult.link_usage`` or replayed
+    from telemetry).  All aggregations are computed from parallel arrays, so
+    a day of samples across many links stays cheap to slice.
+    """
+
+    def __init__(self, samples: Iterable) -> None:
+        samples = list(samples)
+        if not samples:
+            raise ValueError("a link-utilization log needs at least one sample")
+        self._samples = samples
+        self.link_ids = np.asarray([s.link_id for s in samples])
+        self.steps = np.asarray([s.step for s in samples], dtype=int)
+        self.capacity_kbps = np.asarray([s.capacity_kbps for s in samples])
+        self.active_sessions = np.asarray(
+            [s.active_sessions for s in samples], dtype=int
+        )
+        self.demand_kbps = np.asarray([s.demand_kbps for s in samples])
+        self.allocated_kbps = np.asarray([s.allocated_kbps for s in samples])
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> Sequence:
+        """All samples, in recorded order."""
+        return tuple(self._samples)
+
+    def links(self) -> list[str]:
+        """Distinct link ids, sorted."""
+        return sorted(set(self.link_ids.tolist()))
+
+    def _mask(self, link_id: str | None) -> np.ndarray:
+        if link_id is None:
+            return np.ones(len(self._samples), dtype=bool)
+        mask = self.link_ids == link_id
+        if not mask.any():
+            raise KeyError(f"no samples for link {link_id!r}")
+        return mask
+
+    def mean_utilization(self, link_id: str | None = None) -> float:
+        """Mean allocated/capacity fraction over all slots (idle ones too)."""
+        mask = self._mask(link_id)
+        return float(
+            np.mean(self.allocated_kbps[mask] / self.capacity_kbps[mask])
+        )
+
+    def peak_active_sessions(self, link_id: str | None = None) -> int:
+        """Highest concurrency observed on the link (or anywhere)."""
+        return int(self.active_sessions[self._mask(link_id)].max())
+
+    def mean_allocated_per_session_kbps(self, link_id: str | None = None) -> float:
+        """Mean per-session allocated throughput over busy slots.
+
+        The congestion headline: as concurrency rises on a link, this number
+        falls — sessions split the same capacity more ways.
+        """
+        mask = self._mask(link_id) & (self.active_sessions > 0)
+        if not mask.any():
+            raise ValueError("no busy slots to average over")
+        per_session = self.allocated_kbps[mask] / self.active_sessions[mask]
+        return float(np.mean(per_session))
+
+    def congested_slot_fraction(
+        self, link_id: str | None = None, tolerance: float = 1e-9
+    ) -> float:
+        """Fraction of busy slots where demand exceeded the allocation."""
+        mask = self._mask(link_id) & (self.active_sessions > 0)
+        if not mask.any():
+            return 0.0
+        squeezed = self.demand_kbps[mask] > self.allocated_kbps[mask] + tolerance
+        return float(np.mean(squeezed))
+
+    def utilization_timeseries(self, link_id: str) -> tuple[np.ndarray, np.ndarray]:
+        """(steps, utilization) for one link, sorted by step."""
+        mask = self._mask(link_id)
+        order = np.argsort(self.steps[mask], kind="stable")
+        steps = self.steps[mask][order]
+        utilization = (self.allocated_kbps[mask] / self.capacity_kbps[mask])[order]
+        return steps, utilization
+
+    def concurrency_timeseries(self, link_id: str) -> tuple[np.ndarray, np.ndarray]:
+        """(steps, active sessions) for one link, sorted by step."""
+        mask = self._mask(link_id)
+        order = np.argsort(self.steps[mask], kind="stable")
+        return self.steps[mask][order], self.active_sessions[mask][order]

@@ -20,6 +20,7 @@ import numpy as np
 from repro.abr.base import ABRAlgorithm
 from repro.abr.hyb import HYB
 from repro.analytics.logs import LogCollection, SessionLog
+from repro.net.topology import NetworkTopology, get_topology
 from repro.sim.backend import SessionSpec, get_backend
 from repro.sim.session import PlaybackSession, SessionConfig
 from repro.sim.video import VideoLibrary
@@ -39,10 +40,16 @@ class LogGenerationConfig:
     #: loop; other backends run the whole corpus as one spec batch with
     #: per-session RNG substreams (same schema, different random routing).
     backend: str = "scalar"
+    #: Shared-bottleneck topology (name or instance): each day's corpus runs
+    #: as one coupled batch whose sessions fair-share edge-link capacity, so
+    #: the generated logs carry *emergent* congestion.  ``None`` keeps the
+    #: classic uncoupled traces.
+    network: str | NetworkTopology | None = None
 
     def __post_init__(self) -> None:
         if self.days <= 0:
             raise ValueError("days must be positive")
+        get_topology(self.network)  # fail fast on unknown topology names
         if self.sessions_per_user_per_day is not None and self.sessions_per_user_per_day <= 0:
             raise ValueError("sessions_per_user_per_day must be positive")
 
@@ -63,7 +70,9 @@ def generate_production_logs(
     config = config or LogGenerationConfig()
     abr_factory = abr_factory or (lambda _profile: HYB())
     rng = np.random.default_rng(config.seed)
-    if config.backend != "scalar":
+    if config.backend != "scalar" or config.network is not None:
+        # Networked corpora are coupled batches by definition, so they route
+        # through the spec-batched path no matter which backend executes it.
         return _generate_logs_batched(population, library, config, abr_factory, rng)
     session_engine = PlaybackSession(config.session_config)
 
@@ -123,6 +132,7 @@ def _generate_logs_batched(
     memory (the engine preallocates per-session record arrays per batch).
     """
     backend = get_backend(config.backend)
+    network = get_topology(config.network)
     seed_root = np.random.SeedSequence(config.seed)
     sessions: list[SessionLog] = []
     day_population = population
@@ -153,7 +163,7 @@ def _generate_logs_batched(
                 metas.append(
                     (profile.user_id, day, session_index, profile.mean_bandwidth_kbps)
                 )
-        playbacks = backend.run_batch(specs, config.session_config)
+        playbacks = backend.run_batch(specs, config.session_config, network=network)
         sessions.extend(SessionLog.zip_with_playbacks(metas, playbacks))
         day_population = day_population.next_day(rng)
     return LogCollection(sessions)

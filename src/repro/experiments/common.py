@@ -22,6 +22,7 @@ from repro.datasets import (
     build_exit_dataset,
     generate_production_logs,
 )
+from repro.net.topology import get_topology
 from repro.sim.backend import get_backend
 from repro.sim.video import VideoLibrary
 from repro.users.population import UserPopulation
@@ -50,6 +51,11 @@ class SubstrateConfig:
     #: the historical shared-RNG session loop; ``"vector"`` routes sessions
     #: through the struct-of-arrays backend with per-session RNG substreams.
     backend: str = "scalar"
+    #: Shared-bottleneck topology name for substrate log generation: the
+    #: synthetic corpus is produced by sessions fair-sharing edge-link
+    #: capacity, so its stalls and exits carry emergent congestion.
+    #: ``None`` keeps the classic uncoupled traces.
+    network: str | None = None
 
     def __post_init__(self) -> None:
         if self.num_users <= 0 or self.days <= 0:
@@ -57,6 +63,7 @@ class SubstrateConfig:
         if self.training_oversample_days < 0:
             raise ValueError("training_oversample_days must be non-negative")
         get_backend(self.backend)  # fail fast on unknown backend names
+        get_topology(self.network)  # ... and unknown topology names
 
 
 @dataclass
@@ -94,6 +101,7 @@ def build_substrate(config: SubstrateConfig | None = None, train_epochs: int = 1
             sessions_per_user_per_day=config.sessions_per_user_per_day,
             seed=config.seed + 2,
             backend=config.backend,
+            network=config.network,
         ),
     )
     # Stall events are rare platform-wide, so the predictor's training corpus
@@ -110,6 +118,7 @@ def build_substrate(config: SubstrateConfig | None = None, train_epochs: int = 1
                 sessions_per_user_per_day=config.sessions_per_user_per_day,
                 seed=config.seed + 3,
                 backend=config.backend,
+                network=config.network,
             ),
         )
         training_logs = logs.extend(extra_logs)

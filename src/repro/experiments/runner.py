@@ -33,6 +33,7 @@ from repro.experiments import (
     fig15_user_trajectories,
 )
 from repro.experiments.common import SubstrateConfig, build_substrate
+from repro.net.topology import available_topologies
 from repro.sim.backend import available_backends
 
 #: Figure ids in execution order.  Figures 13–15 reuse the AA/AB campaign of
@@ -150,6 +151,16 @@ def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
             "fig10/fig12 campaign loops (default: scalar)"
         ),
     )
+    parser.add_argument(
+        "--network",
+        default=None,
+        choices=available_topologies(),
+        help=(
+            "shared-bottleneck topology for substrate log generation: "
+            "sessions fair-share edge-link capacity, so the synthetic "
+            "corpus carries emergent congestion (default: uncoupled)"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -167,7 +178,7 @@ def main(argv: list[str] | None = None) -> dict[str, object]:
         raise SystemExit(f"error: {error}") from None
     np.set_printoptions(precision=4, suppress=True)
     return run_all(
-        substrate_config=SubstrateConfig(backend=args.backend),
+        substrate_config=SubstrateConfig(backend=args.backend, network=args.network),
         verbose=not args.quiet,
         figures=figures,
     )

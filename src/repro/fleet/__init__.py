@@ -42,7 +42,10 @@ from repro.fleet.orchestrator import (
 )
 from repro.fleet.scenarios import (
     DeviceMixScenario,
+    EveningPeakScenario,
     FlashCrowdScenario,
+    FlashCrowdSharedScenario,
+    LinkOutageScenario,
     RegionalDegradationScenario,
     Scenario,
     SteadyStateScenario,
@@ -53,7 +56,10 @@ from repro.fleet.scenarios import (
 from repro.fleet.telemetry import (
     TelemetryEvent,
     TelemetryWriter,
+    link_utilization_event,
     read_events,
+    replay_link_usage,
+    replay_link_utilization,
     replay_log_collection,
     replay_sessions,
     session_event,
@@ -82,7 +88,10 @@ __all__ = [
     "run_fleet_day",
     "write_fleet_telemetry",
     "DeviceMixScenario",
+    "EveningPeakScenario",
     "FlashCrowdScenario",
+    "FlashCrowdSharedScenario",
+    "LinkOutageScenario",
     "RegionalDegradationScenario",
     "Scenario",
     "SteadyStateScenario",
@@ -91,7 +100,10 @@ __all__ = [
     "register_scenario",
     "TelemetryEvent",
     "TelemetryWriter",
+    "link_utilization_event",
     "read_events",
+    "replay_link_usage",
+    "replay_link_utilization",
     "replay_log_collection",
     "replay_sessions",
     "session_event",

@@ -48,7 +48,14 @@ from repro.core.persistence import controller_state_payload, restore_controller_
 from repro.core.triggers import TriggerPolicy
 from repro.fleet.batched import BatchedMonteCarloEvaluator
 from repro.fleet.scenarios import Scenario, get_scenario
-from repro.fleet.telemetry import TelemetryEvent, TelemetryWriter, session_event
+from repro.fleet.telemetry import (
+    TelemetryEvent,
+    TelemetryWriter,
+    link_utilization_event,
+    session_event,
+)
+from repro.net.allocator import LinkUsageSample
+from repro.net.topology import NetworkTopology, get_topology, stable_user_key
 from repro.sim.backend import SessionSpec, get_backend
 from repro.sim.session import PlaybackSession, SessionConfig
 from repro.sim.video import VideoLibrary
@@ -126,11 +133,19 @@ class FleetConfig:
     #: :class:`~repro.sim.backend.SessionSpec` batches with per-session
     #: `Philox` substreams.
     backend: str = "scalar"
+    #: Shared-bottleneck network substrate: a registered topology name (or a
+    #: :class:`~repro.net.topology.NetworkTopology` instance), or ``None``
+    #: for the classic uncoupled mode.  Networked runs shard users **by edge
+    #: link** (so allocation coupling stays intra-shard), route every shard
+    #: through the spec-batched path regardless of backend, and emit
+    #: per-slot link-utilization telemetry.
+    network: str | NetworkTopology | None = None
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
             raise ValueError("num_shards must be positive")
         get_backend(self.backend)  # fail fast on unknown backend names
+        get_topology(self.network)  # ... and unknown topology names
         if self.num_workers is not None and self.num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         if self.sessions_per_user is not None and self.sessions_per_user <= 0:
@@ -156,6 +171,18 @@ class ShardTask:
     session_config: SessionConfig
     controller_states: dict[str, dict] = field(default_factory=dict)
     backend: str = "scalar"
+    #: Root fleet seed, used by the spec-batched path to key per-user
+    #: `SeedSequence` substreams by user *identity* (md5) instead of shard
+    #: position — the property that makes batched fleet runs invariant to
+    #: shard and worker counts.
+    seed: int = 0
+    #: Full (scenario-shaped) topology for networked runs, or ``None`` for
+    #: the classic uncoupled mode.  User→link attachment must happen on the
+    #: full topology (restriction renormalises ``user_share``); the engines
+    #: then run on the restriction to ``shard_link_ids`` so each shard only
+    #: allocates — and reports usage for — the links it owns.
+    network: NetworkTopology | None = None
+    shard_link_ids: tuple[str, ...] = ()
 
 
 @dataclass
@@ -167,6 +194,7 @@ class ShardOutput:
     controller_states: dict[str, dict]
     num_segments: int
     wall_time_s: float
+    link_usage: list[LinkUsageSample] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -231,6 +259,22 @@ class FleetResult:
             return float("inf")
         return len(self.logs) / self.wall_time_s
 
+    @property
+    def link_usage(self) -> list[LinkUsageSample]:
+        """All shards' per-slot link-utilization samples, in shard order."""
+        return [
+            sample for output in self.shard_outputs for sample in output.link_usage
+        ]
+
+    def link_utilization(self):
+        """:class:`~repro.analytics.logs.LinkUtilizationLog` over the run.
+
+        Raises when the run was not networked (no usage samples).
+        """
+        from repro.analytics.logs import LinkUtilizationLog
+
+        return LinkUtilizationLog(self.link_usage)
+
 
 def fleet_metrics(logs: LogCollection) -> FleetMetrics:
     """Compute :class:`FleetMetrics` from a log collection."""
@@ -268,11 +312,12 @@ def _run_shard(task: ShardTask) -> ShardOutput:
     fleet numbers for the built-in factories (fixed-mode LingXi controllers
     are the exception: their candidate sweeps now use the batched
     ``evaluate_many`` path, which drops inter-candidate pruning); any other
-    backend builds the shard's full
+    backend — and *every* networked run, whose coupled sessions only exist
+    at the batch level — builds the shard's full
     :class:`~repro.sim.backend.SessionSpec` list up front and hands it to the
     backend as one batch with per-session RNG substreams.
     """
-    if task.backend != "scalar":
+    if task.backend != "scalar" or task.network is not None:
         return _run_shard_batched(task)
     start = time.perf_counter()
     rng = np.random.default_rng(task.seed_seq)
@@ -327,25 +372,56 @@ def _run_shard(task: ShardTask) -> ShardOutput:
     )
 
 
-def _run_shard_batched(task: ShardTask) -> ShardOutput:
-    """Spec-building shard path for non-scalar backends.
+def _trim_trailing_idle(samples: list[LinkUsageSample]) -> list[LinkUsageSample]:
+    """Drop each link's idle samples after its last busy slot.
 
-    Scenario randomness (session counts, traces, videos, ABR seeds) is drawn
-    from the shard RNG in the same per-user sequence as the scalar loop, but
-    *not* interleaved with per-segment exit draws (those move to per-session
-    `Philox` substreams spawned from the shard's seed sequence), so the
-    concrete traces and videos differ from a ``backend="scalar"`` run of the
-    same seed.  The substreams are what let the batch execute in any order —
-    lockstep included — without perturbing any session's draws.
+    The engines emit usage for every link while *any* of the shard's
+    sessions is still running, so a link's trailing-idle tail (and an
+    always-idle link's entire stream) would depend on which other links
+    share its shard.  A link's *busy span* is a function of its own users
+    only, and leading/mid-run idle slots are always covered (the link's own
+    future sessions keep the loop alive) — so after this trim the fleet's
+    link-usage stream is invariant to the shard count.
+    """
+    last_busy: dict[str, int] = {}
+    for sample in samples:
+        if sample.active_sessions > 0:
+            last_busy[sample.link_id] = max(
+                sample.step, last_busy.get(sample.link_id, -1)
+            )
+    return [
+        sample
+        for sample in samples
+        if sample.step <= last_busy.get(sample.link_id, -1)
+    ]
+
+
+def _run_shard_batched(task: ShardTask) -> ShardOutput:
+    """Spec-building shard path for non-scalar backends and networked runs.
+
+    All of a user's randomness — ABR seed, scenario draws (session counts,
+    traces, videos, start slots) and the per-session `Philox` exit
+    substreams — flows from a `SeedSequence` keyed by ``(fleet seed,
+    md5(user_id))`` via :func:`~repro.net.topology.stable_user_key`.  Keying
+    by user *identity* rather than shard position makes every user's traffic
+    independent of how the population is sharded, so batched fleet
+    aggregates are invariant to shard and worker counts (networked runs
+    included: links never straddle shards, so each link's contention set is
+    sharding-independent too).  The concrete traces and videos therefore
+    differ from a ``backend="scalar"`` run of the same seed, which keeps its
+    historical shard-RNG routing.
     """
     start = time.perf_counter()
     backend = get_backend(task.backend)
-    rng = np.random.default_rng(task.seed_seq)
     specs: list[SessionSpec] = []
     metas: list[tuple[str, int, int, float]] = []
     controllers: dict[str, object] = {}
 
     for profile in task.profiles:
+        user_seq = np.random.SeedSequence(
+            task.seed, spawn_key=stable_user_key(profile.user_id)
+        )
+        rng = np.random.default_rng(user_seq.spawn(1)[0])
         abr_seed = int(rng.integers(2**31 - 1))
         abr = task.abr_factory(profile, abr_seed)
         controller = getattr(abr, "controller", None)
@@ -363,23 +439,45 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
         )
         num_sessions = task.scenario.sessions_for(scenario_profile, rng)
         trace = task.scenario.trace_for(profile, rng, task.trace_length)
+        session_seeds = user_seq.spawn(num_sessions)
+        link = (
+            task.network.link_for(profile.user_id).link_id
+            if task.network is not None
+            else None
+        )
         for session_index in range(num_sessions):
             video = task.scenario.video_for(profile, task.library, rng)
+            start_step = (
+                task.scenario.start_for(scenario_profile, session_index, rng)
+                if task.network is not None
+                else 0
+            )
             specs.append(
                 SessionSpec(
                     abr=abr,
                     video=video,
                     trace=trace,
                     exit_model=exit_model,
-                    seed=task.seed_seq.spawn(1)[0],
+                    seed=session_seeds[session_index],
                     user_id=profile.user_id,
+                    link=link,
+                    start_step=start_step,
                 )
             )
             metas.append(
                 (profile.user_id, task.day, session_index, profile.mean_bandwidth_kbps)
             )
 
-    playbacks = backend.run_batch(specs, task.session_config)
+    run_network = (
+        task.network.restrict(task.shard_link_ids)
+        if task.network is not None
+        else None
+    )
+    link_usage: list[LinkUsageSample] = []
+    playbacks = backend.run_batch(
+        specs, task.session_config, network=run_network, link_usage=link_usage
+    )
+    link_usage = _trim_trailing_idle(link_usage)
     sessions = SessionLog.zip_with_playbacks(metas, playbacks)
     return ShardOutput(
         shard_index=task.shard_index,
@@ -390,6 +488,7 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
         },
         num_segments=sum(len(playback) for playback in playbacks),
         wall_time_s=time.perf_counter() - start,
+        link_usage=link_usage,
     )
 
 
@@ -426,7 +525,18 @@ class FleetOrchestrator:
         run_id = run_id or f"fleet-{config.seed:08d}-s{config.num_shards}-d{config.day}"
         states = controller_states or {}
 
-        shard_profiles = population.shards(config.num_shards)
+        network = get_topology(config.network)
+        if network is not None:
+            network = scenario.network_for(network)
+            # Shard by edge link: a link's whole contention set lives in one
+            # shard, so fair-share coupling never crosses a shard boundary.
+            shard_profiles = network.shard_profiles(
+                population.profiles, config.num_shards
+            )
+            shard_links = network.shard_links(config.num_shards)
+        else:
+            shard_profiles = population.shards(config.num_shards)
+            shard_links = [[] for _ in range(config.num_shards)]
         seed_children = np.random.SeedSequence(config.seed).spawn(config.num_shards)
         tasks = [
             ShardTask(
@@ -445,6 +555,9 @@ class FleetOrchestrator:
                     p.user_id: states[p.user_id] for p in profiles if p.user_id in states
                 },
                 backend=config.backend,
+                seed=config.seed,
+                network=network,
+                shard_link_ids=tuple(shard_links[index]),
             )
             for index, profiles in enumerate(shard_profiles)
             if profiles
@@ -506,6 +619,10 @@ def write_fleet_telemetry(result: FleetResult, path: str | Path) -> Path:
         for output in result.shard_outputs:
             for log in output.sessions:
                 writer.emit(session_event(result.run_id, output.shard_index, log))
+            for sample in output.link_usage:
+                writer.emit(
+                    link_utilization_event(result.run_id, output.shard_index, sample)
+                )
             writer.emit(
                 TelemetryEvent(
                     run_id=result.run_id,

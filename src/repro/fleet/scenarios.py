@@ -7,13 +7,14 @@ Scenarios are plain picklable objects so they travel to worker processes
 unchanged, and all randomness flows through the per-shard RNG the orchestrator
 hands in — the same seed always produces the same traffic.
 
-Four workloads ship built-in (the registry is open for more):
+Seven workloads ship built-in (the registry is open for more):
 
 ``steady_state``
     Every user behaves exactly like their profile says — the baseline.
 ``flash_crowd``
     A platform-wide event multiplies per-user session counts while CDN
-    congestion scales everyone's bandwidth down.
+    congestion scales everyone's bandwidth down (**exogenous** congestion:
+    every session still plays against a private, pre-scaled trace).
 ``regional_degradation``
     A deterministic fraction of users (a "region") sees their network degraded
     to a fraction of its mean and turned bursty (Markov-modulated), as in an
@@ -21,30 +22,48 @@ Four workloads ship built-in (the registry is open for more):
 ``device_mix``
     Heterogeneous devices: mobile users get a truncated low-rung ladder and
     short videos, TV users get the full ladder and long videos.
+``flash_crowd_shared`` / ``link_outage`` / ``evening_peak``
+    **Congestion-native** workloads for networked fleet runs
+    (``FleetConfig(network=...)``): arrivals surge onto shared
+    :mod:`repro.net` edge links, a link loses capacity mid-day, or diurnal
+    cross-traffic squeezes every link — and the resulting throughput drops,
+    stalls and exits *emerge* from sessions competing for capacity instead
+    of being injected by trace scaling.  Without a network they degrade
+    gracefully to steady-state-like runs (start slots and topology shaping
+    have no effect on uncoupled sessions).
 """
 
 from __future__ import annotations
 
-import hashlib
+from dataclasses import replace
 from typing import Callable
 
 import numpy as np
 
+from repro.net.topology import (
+    CrossTraffic,
+    LinkEvent,
+    NetworkTopology,
+    stable_fraction,
+)
 from repro.sim.bandwidth import BandwidthTrace, MarkovTraceGenerator
 from repro.sim.video import BitrateLadder, Video, VideoLibrary
 from repro.users.population import UserProfile
 
-
-def stable_fraction(user_id: str, salt: str = "") -> float:
-    """Deterministic pseudo-uniform value in [0, 1) derived from a user id.
-
-    Unlike ``hash()`` this is stable across processes and Python runs, so the
-    same users land in the same scenario cohort in every shard and worker.
-    """
-    digest = hashlib.md5(
-        f"{salt}:{user_id}".encode(), usedforsecurity=False
-    ).hexdigest()
-    return int(digest[:8], 16) / float(0x100000000)
+__all__ = [
+    "Scenario",
+    "SteadyStateScenario",
+    "FlashCrowdScenario",
+    "FlashCrowdSharedScenario",
+    "LinkOutageScenario",
+    "EveningPeakScenario",
+    "RegionalDegradationScenario",
+    "DeviceMixScenario",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "stable_fraction",
+]
 
 
 class Scenario:
@@ -68,6 +87,25 @@ class Scenario:
     ) -> Video:
         """Video the user plays next."""
         return library.sample(rng)
+
+    def start_for(
+        self, profile: UserProfile, session_index: int, rng: np.random.Generator
+    ) -> int:
+        """Slot at which this session starts downloading.
+
+        Only networked runs are sensitive to start times (uncoupled sessions
+        are invariant to when they run); the baseline starts everything at
+        slot 0.
+        """
+        return 0
+
+    def network_for(self, topology: NetworkTopology) -> NetworkTopology:
+        """Scenario-specific topology shaping (outages, cross traffic).
+
+        Applied once per run, before users are sharded by link.  The default
+        leaves the topology untouched.
+        """
+        return topology
 
 
 class SteadyStateScenario(Scenario):
@@ -195,6 +233,154 @@ class DeviceMixScenario(Scenario):
         return self.libraries[self.device_for(profile)].sample(rng)
 
 
+class FlashCrowdSharedScenario(Scenario):
+    """Flash crowd on shared links: congestion emerges from the arrival surge.
+
+    Session counts multiply platform-wide and most sessions arrive inside a
+    short surge window (the rest spread over the day), so concurrency on
+    every edge link spikes — and, unlike :class:`FlashCrowdScenario`, nobody
+    scales any trace: the per-session throughput collapse on the hot links
+    is produced entirely by the fair-share allocator dividing finite
+    capacity among more downloads.
+    """
+
+    name = "flash_crowd_shared"
+    description = "arrival surge onto shared links; congestion emerges from load"
+
+    def __init__(
+        self,
+        session_multiplier: float = 3.0,
+        day_slots: int = 64,
+        surge_slot: int = 16,
+        surge_width: int = 8,
+        surge_fraction: float = 0.7,
+    ) -> None:
+        if session_multiplier < 1.0:
+            raise ValueError("session_multiplier must be at least 1")
+        if day_slots <= 0 or surge_width <= 0:
+            raise ValueError("day_slots and surge_width must be positive")
+        if not 0 <= surge_slot < day_slots:
+            raise ValueError("surge_slot must fall inside the day")
+        if not 0 <= surge_fraction <= 1:
+            raise ValueError("surge_fraction must be in [0, 1]")
+        self.session_multiplier = session_multiplier
+        self.day_slots = day_slots
+        self.surge_slot = surge_slot
+        self.surge_width = surge_width
+        self.surge_fraction = surge_fraction
+
+    def sessions_for(self, profile: UserProfile, rng: np.random.Generator) -> int:
+        return max(1, int(round(profile.sessions_per_day * self.session_multiplier)))
+
+    def start_for(
+        self, profile: UserProfile, session_index: int, rng: np.random.Generator
+    ) -> int:
+        if rng.random() < self.surge_fraction:
+            return int(self.surge_slot + rng.integers(self.surge_width))
+        return int(rng.integers(self.day_slots))
+
+
+class LinkOutageScenario(Scenario):
+    """One edge link loses capacity mid-day (default: halved).
+
+    Session arrivals spread uniformly over the day, so the outage window
+    catches live traffic: sessions on the degraded link see their fair
+    shares collapse while the window lasts, and the other links are
+    untouched — a clean natural experiment for per-link telemetry.
+    """
+
+    name = "link_outage"
+    description = "a link loses half its capacity for a mid-day window"
+
+    def __init__(
+        self,
+        link_id: str | None = None,
+        outage_start: int = 16,
+        outage_end: int = 40,
+        capacity_multiplier: float = 0.5,
+        day_slots: int = 64,
+    ) -> None:
+        if day_slots <= 0:
+            raise ValueError("day_slots must be positive")
+        self.link_id = link_id
+        self.outage_start = outage_start
+        self.outage_end = outage_end
+        self.capacity_multiplier = capacity_multiplier
+        self.day_slots = day_slots
+
+    def target_link(self, topology: NetworkTopology) -> str:
+        """Link hit by the outage: explicit id, else the largest link."""
+        if self.link_id is not None:
+            return self.link_id
+        return max(
+            topology.links, key=lambda link: (link.capacity_kbps, link.link_id)
+        ).link_id
+
+    def network_for(self, topology: NetworkTopology) -> NetworkTopology:
+        return topology.with_event(
+            self.target_link(topology),
+            LinkEvent(self.outage_start, self.outage_end, self.capacity_multiplier),
+        )
+
+    def start_for(
+        self, profile: UserProfile, session_index: int, rng: np.random.Generator
+    ) -> int:
+        return int(rng.integers(self.day_slots))
+
+
+class EveningPeakScenario(Scenario):
+    """Diurnal cross-traffic peak with session arrivals skewed into it.
+
+    Every link carries a smooth background-load cycle peaking in the
+    "evening" (a fraction of the day), and arrival times lean toward that
+    peak (triangular distribution), so utilization and congestion build up
+    over the simulated day the way platform evening peaks do.
+    """
+
+    name = "evening_peak"
+    description = "diurnal cross-traffic peak; arrivals skew into the evening"
+
+    def __init__(
+        self,
+        day_slots: int = 64,
+        peak_phase: float = 0.75,
+        cross_traffic_fraction: float = 0.35,
+    ) -> None:
+        if day_slots <= 0:
+            raise ValueError("day_slots must be positive")
+        if not 0 <= peak_phase <= 1:
+            raise ValueError("peak_phase must be in [0, 1]")
+        if not 0 <= cross_traffic_fraction < 1:
+            raise ValueError("cross_traffic_fraction must be in [0, 1)")
+        self.day_slots = day_slots
+        self.peak_phase = peak_phase
+        self.cross_traffic_fraction = cross_traffic_fraction
+
+    def network_for(self, topology: NetworkTopology) -> NetworkTopology:
+        links = tuple(
+            link
+            if link.cross_traffic is not None
+            else replace(
+                link,
+                cross_traffic=CrossTraffic(
+                    base_kbps=0.0,
+                    peak_kbps=link.capacity_kbps * self.cross_traffic_fraction,
+                    period=self.day_slots,
+                    phase=self.peak_phase,
+                ),
+            )
+            for link in topology.links
+        )
+        return replace(topology, links=links)
+
+    def start_for(
+        self, profile: UserProfile, session_index: int, rng: np.random.Generator
+    ) -> int:
+        mode = self.peak_phase * self.day_slots
+        draw = rng.triangular(0.0, mode, self.day_slots)
+        return min(int(draw), self.day_slots - 1)
+
+
 # --------------------------------------------------------------------------- #
 # Registry
 # --------------------------------------------------------------------------- #
@@ -230,3 +416,6 @@ register_scenario("steady_state", SteadyStateScenario)
 register_scenario("flash_crowd", FlashCrowdScenario)
 register_scenario("regional_degradation", RegionalDegradationScenario)
 register_scenario("device_mix", DeviceMixScenario)
+register_scenario("flash_crowd_shared", FlashCrowdSharedScenario)
+register_scenario("link_outage", LinkOutageScenario)
+register_scenario("evening_peak", EveningPeakScenario)

@@ -18,12 +18,18 @@ run.  Event types emitted by the orchestrator:
     in-memory one — floats survive the JSON roundtrip bit-for-bit.
 ``shard_summary``
     One per shard; payload carries the shard's session/segment counters.
+``link_utilization``
+    Networked runs only: one per edge link per simulation slot, carrying the
+    link's usable capacity, the number of sessions actively downloading, and
+    their total demand and allocation — the raw material for congestion
+    analytics (:class:`~repro.analytics.logs.LinkUtilizationLog`).
 ``run_end``
     One per run; payload carries the fleet-level metrics.
 
-The replay/loader API (:func:`read_events`, :func:`replay_log_collection`)
-feeds the existing analytics layer, so every §2-style aggregation works on a
-telemetry file exactly as it does on live simulation output.
+The replay/loader API (:func:`read_events`, :func:`replay_log_collection`,
+:func:`replay_link_utilization`) feeds the existing analytics layer, so
+every §2-style aggregation works on a telemetry file exactly as it does on
+live simulation output.
 """
 
 from __future__ import annotations
@@ -35,7 +41,8 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
-from repro.analytics.logs import LogCollection, SessionLog
+from repro.analytics.logs import LinkUtilizationLog, LogCollection, SessionLog
+from repro.net.allocator import LinkUsageSample
 from repro.sim.session import PlaybackTrace, SegmentRecord
 
 
@@ -176,6 +183,41 @@ def session_event(run_id: str, shard: int, log: SessionLog) -> TelemetryEvent:
         event="session",
         payload=session_payload(log),
     )
+
+
+def link_utilization_event(
+    run_id: str, shard: int, sample: LinkUsageSample
+) -> TelemetryEvent:
+    """Build the ``link_utilization`` event for one per-slot link sample."""
+    return TelemetryEvent(
+        run_id=run_id,
+        shard=shard,
+        user_id="",
+        event="link_utilization",
+        payload=sample.as_payload(),
+    )
+
+
+def replay_link_usage(events: Iterable[TelemetryEvent]) -> list[LinkUsageSample]:
+    """Reconstruct the link-usage samples recorded in a stream of events."""
+    return [
+        LinkUsageSample.from_payload(event.payload)
+        for event in events
+        if event.event == "link_utilization"
+    ]
+
+
+def replay_link_utilization(path: str | Path) -> LinkUtilizationLog:
+    """Load a networked run's telemetry back into a link-utilization log.
+
+    Like :func:`replay_log_collection`, the result is value-equal to the
+    live run's ``FleetResult.link_utilization()``: every float survives the
+    JSON roundtrip exactly.
+    """
+    samples = replay_link_usage(read_events(path))
+    if not samples:
+        raise ValueError(f"no link_utilization events found in {path}")
+    return LinkUtilizationLog(samples)
 
 
 def replay_sessions(events: Iterable[TelemetryEvent]) -> list[SessionLog]:

@@ -1,0 +1,47 @@
+"""repro.net — shared-bottleneck network substrate.
+
+Concurrent playback sessions attached to the same edge link fair-share its
+capacity, so congestion, flash crowds and outages are *emergent* properties
+of load rather than exogenous trace scaling:
+
+* :mod:`repro.net.topology` — :class:`NetworkTopology` / :class:`EdgeLink`
+  with deterministic (md5-stable) user attachment, scheduled capacity events
+  and diurnal cross-traffic, plus a named-topology registry.
+* :mod:`repro.net.allocator` — vectorized weighted max-min (water-filling)
+  allocation and the per-slot :func:`allocate_step` shared by the scalar and
+  vector simulation engines.
+
+The package is a leaf dependency (numpy only): :mod:`repro.sim` builds its
+networked stepping modes on top of it, and :mod:`repro.fleet` shards users
+by link so allocation coupling stays inside one shard.
+"""
+
+from repro.net.allocator import LinkUsageSample, allocate_step, max_min_fair
+from repro.net.topology import (
+    MIN_LINK_CAPACITY_KBPS,
+    CrossTraffic,
+    EdgeLink,
+    LinkEvent,
+    NetworkTopology,
+    available_topologies,
+    get_topology,
+    register_topology,
+    stable_fraction,
+    stable_user_key,
+)
+
+__all__ = [
+    "LinkUsageSample",
+    "allocate_step",
+    "max_min_fair",
+    "MIN_LINK_CAPACITY_KBPS",
+    "CrossTraffic",
+    "EdgeLink",
+    "LinkEvent",
+    "NetworkTopology",
+    "available_topologies",
+    "get_topology",
+    "register_topology",
+    "stable_fraction",
+    "stable_user_key",
+]

@@ -1,0 +1,313 @@
+"""Edge-link network topologies with deterministic user attachment.
+
+A :class:`NetworkTopology` is a set of :class:`EdgeLink` objects — shared
+bottlenecks in the spirit of the *Optimization Flow Control* model (Low &
+Lapsley): every playback session attaches to exactly one edge link and all
+sessions concurrently downloading on a link fair-share its capacity (the
+allocation itself lives in :mod:`repro.net.allocator`).
+
+Three properties make topologies safe to ship to fleet shard workers:
+
+* **Picklable** — everything here is a frozen dataclass of plain values.
+* **Deterministic attachment** — users map to links via the md5-based
+  :func:`stable_fraction` idiom (stable across processes and Python runs),
+  weighted by each link's ``user_share``.
+* **Deterministic capacity profile** — a link's usable capacity at a slot is
+  a pure function of the slot index: base capacity, scheduled
+  :class:`LinkEvent` windows (outages, brown-outs) and an optional diurnal
+  :class:`CrossTraffic` process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
+
+import numpy as np
+
+#: Usable link capacity never drops below this (keeps Equation 3 finite even
+#: during outages: downloads become very slow, not undefined).
+MIN_LINK_CAPACITY_KBPS = 10.0
+
+
+def _stable_digest(user_id: str, salt: str) -> str:
+    return hashlib.md5(
+        f"{salt}:{user_id}".encode(), usedforsecurity=False
+    ).hexdigest()
+
+
+def stable_fraction(user_id: str, salt: str = "") -> float:
+    """Deterministic pseudo-uniform value in [0, 1) derived from a user id.
+
+    Unlike ``hash()`` this is stable across processes and Python runs, so the
+    same users land in the same cohort (scenario group, edge link, …) in
+    every shard and worker.
+    """
+    return int(_stable_digest(user_id, salt)[:8], 16) / float(0x100000000)
+
+
+def stable_user_key(user_id: str, salt: str = "user-rng") -> tuple[int, int]:
+    """Two stable 32-bit words derived from a user id (a ``spawn_key``).
+
+    Used to give every user their own ``SeedSequence`` substream keyed by
+    identity rather than by shard position, which is what makes spec-batched
+    fleet runs invariant to shard and worker counts.
+    """
+    digest = _stable_digest(user_id, salt)
+    return int(digest[:8], 16), int(digest[8:16], 16)
+
+
+@dataclass(frozen=True)
+class CrossTraffic:
+    """Deterministic diurnal background load on a link (kbps).
+
+    The load at slot ``t`` is ``base + peak * (1 + cos(2*pi*(t/period -
+    phase))) / 2`` — a smooth daily cycle peaking at ``phase`` (fraction of
+    the period) with amplitude ``peak`` on top of a constant ``base``.
+    """
+
+    base_kbps: float = 0.0
+    peak_kbps: float = 0.0
+    period: int = 64
+    phase: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.base_kbps < 0 or self.peak_kbps < 0:
+            raise ValueError("cross-traffic loads must be non-negative")
+        if self.period <= 0:
+            raise ValueError("period must be positive")
+
+    def at(self, step: int) -> float:
+        """Background load (kbps) during slot ``step``."""
+        if self.peak_kbps <= 0.0:
+            return self.base_kbps
+        cycle = math.cos(2.0 * math.pi * (step / self.period - self.phase))
+        return self.base_kbps + self.peak_kbps * (1.0 + cycle) / 2.0
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """A scheduled capacity change over a slot window (e.g. an outage)."""
+
+    start_step: int
+    end_step: int
+    capacity_multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.end_step <= self.start_step:
+            raise ValueError("end_step must be after start_step")
+        if self.capacity_multiplier < 0:
+            raise ValueError("capacity_multiplier must be non-negative")
+
+    def active_at(self, step: int) -> bool:
+        """True while the event window covers ``step``."""
+        return self.start_step <= step < self.end_step
+
+
+@dataclass(frozen=True)
+class EdgeLink:
+    """One shared bottleneck link.
+
+    ``user_share`` is the link's relative weight in user attachment: a link
+    with twice the share of another attracts (deterministically) twice the
+    users.
+    """
+
+    link_id: str
+    capacity_kbps: float
+    user_share: float = 1.0
+    cross_traffic: CrossTraffic | None = None
+    events: tuple[LinkEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.link_id:
+            raise ValueError("link_id must be non-empty")
+        if self.capacity_kbps <= 0:
+            raise ValueError("capacity_kbps must be positive")
+        if self.user_share <= 0:
+            raise ValueError("user_share must be positive")
+
+    def capacity_at(self, step: int) -> float:
+        """Usable capacity (kbps) for sessions during slot ``step``."""
+        capacity = self.capacity_kbps
+        for event in self.events:
+            if event.active_at(step):
+                capacity *= event.capacity_multiplier
+        if self.cross_traffic is not None:
+            capacity -= self.cross_traffic.at(step)
+        return max(capacity, MIN_LINK_CAPACITY_KBPS)
+
+
+@dataclass(frozen=True)
+class NetworkTopology:
+    """An immutable set of edge links with deterministic user attachment."""
+
+    links: tuple[EdgeLink, ...]
+    name: str = "topology"
+    salt: str = "net-link"
+
+    def __post_init__(self) -> None:
+        if not self.links:
+            raise ValueError("a topology needs at least one link")
+        ids = [link.link_id for link in self.links]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate link ids in topology: {ids}")
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    @property
+    def link_ids(self) -> tuple[str, ...]:
+        """Link ids in topology order."""
+        return tuple(link.link_id for link in self.links)
+
+    def index_of(self, link_id: str) -> int:
+        """Topology index of a link id."""
+        for index, link in enumerate(self.links):
+            if link.link_id == link_id:
+                return index
+        raise KeyError(f"unknown link {link_id!r}; available: {list(self.link_ids)}")
+
+    def link_index_for(self, user_id: str) -> int:
+        """Deterministic link attachment of a user (``user_share``-weighted)."""
+        draw = stable_fraction(user_id, self.salt)
+        total = sum(link.user_share for link in self.links)
+        cumulative = 0.0
+        for index, link in enumerate(self.links):
+            cumulative += link.user_share / total
+            if draw < cumulative:
+                return index
+        return len(self.links) - 1
+
+    def link_for(self, user_id: str) -> EdgeLink:
+        """The edge link a user attaches to."""
+        return self.links[self.link_index_for(user_id)]
+
+    def capacities_at(self, step: int) -> np.ndarray:
+        """Per-link usable capacity (kbps) during slot ``step``."""
+        return np.asarray([link.capacity_at(step) for link in self.links])
+
+    def with_event(self, link_id: str, event: LinkEvent) -> "NetworkTopology":
+        """Copy of the topology with ``event`` appended to one link."""
+        index = self.index_of(link_id)
+        links = list(self.links)
+        links[index] = replace(links[index], events=links[index].events + (event,))
+        return replace(self, links=tuple(links))
+
+    def with_cross_traffic(self, cross_traffic: CrossTraffic) -> "NetworkTopology":
+        """Copy of the topology with ``cross_traffic`` applied to every link."""
+        return replace(
+            self,
+            links=tuple(
+                replace(link, cross_traffic=cross_traffic) for link in self.links
+            ),
+        )
+
+    def restrict(self, link_ids: Sequence[str]) -> "NetworkTopology":
+        """Sub-topology keeping only ``link_ids`` (in topology order).
+
+        Used by the fleet orchestrator to hand each shard exactly the links
+        it owns; attachment on a restricted topology is only meaningful for
+        users whose link survived, so restricted specs should carry explicit
+        ``SessionSpec.link`` ids (the orchestrator always sets them).
+        """
+        keep = set(link_ids)
+        unknown = keep - set(self.link_ids)
+        if unknown:
+            raise KeyError(f"unknown links {sorted(unknown)}")
+        return replace(
+            self, links=tuple(link for link in self.links if link.link_id in keep)
+        )
+
+    def shard_links(self, num_shards: int) -> list[list[str]]:
+        """Round-robin assignment of link ids to shards (some may be empty)."""
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        return [list(self.link_ids[i::num_shards]) for i in range(num_shards)]
+
+    def shard_profiles(self, profiles: Sequence, num_shards: int) -> list[list]:
+        """Shard user profiles *by link* so allocation coupling stays intra-shard.
+
+        Every user of a link lands in the shard that owns the link, so a
+        shard sees the complete set of competitors on each of its links —
+        which is also what makes networked fleet aggregates invariant to the
+        shard count (links never straddle shards).  Profile order within a
+        shard follows the input order.
+        """
+        link_shards = self.shard_links(num_shards)
+        shard_of_link = {
+            link_id: shard
+            for shard, ids in enumerate(link_shards)
+            for link_id in ids
+        }
+        shards: list[list] = [[] for _ in range(num_shards)]
+        for profile in profiles:
+            link = self.links[self.link_index_for(profile.user_id)]
+            shards[shard_of_link[link.link_id]].append(profile)
+        return shards
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: dict[str, Callable[[], NetworkTopology]] = {}
+
+
+def register_topology(name: str, factory: Callable[[], NetworkTopology]) -> None:
+    """Register a topology factory under ``name`` (overwrites silently)."""
+    _REGISTRY[name] = factory
+
+
+def available_topologies() -> list[str]:
+    """Registered topology names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_topology(topology: str | NetworkTopology | None) -> NetworkTopology | None:
+    """Resolve a topology name (pass instances and ``None`` through)."""
+    if topology is None or isinstance(topology, NetworkTopology):
+        return topology
+    try:
+        factory = _REGISTRY[topology]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {topology!r}; available: {available_topologies()}"
+        ) from None
+    return factory()
+
+
+def _single_bottleneck() -> NetworkTopology:
+    return NetworkTopology(
+        name="single_bottleneck",
+        links=(EdgeLink("bottleneck", capacity_kbps=500_000.0),),
+    )
+
+
+def _dual_isp() -> NetworkTopology:
+    return NetworkTopology(
+        name="dual_isp",
+        links=(
+            EdgeLink("fiber", capacity_kbps=800_000.0, user_share=0.65),
+            EdgeLink("dsl", capacity_kbps=120_000.0, user_share=0.35),
+        ),
+    )
+
+
+def _metro_8() -> NetworkTopology:
+    capacities = (300_000.0, 250_000.0, 200_000.0, 160_000.0,
+                  120_000.0, 100_000.0, 80_000.0, 60_000.0)
+    return NetworkTopology(
+        name="metro_8",
+        links=tuple(
+            EdgeLink(f"metro{i}", capacity_kbps=capacity)
+            for i, capacity in enumerate(capacities)
+        ),
+    )
+
+
+register_topology("single_bottleneck", _single_bottleneck)
+register_topology("dual_isp", _dual_isp)
+register_topology("metro_8", _metro_8)

@@ -17,6 +17,10 @@ simulated A/B campaigns (Figures 1, 12, 13) all run on:
 * :mod:`repro.sim.vector` — the ``"vector"`` struct-of-arrays backend that
   advances N sessions per step as pure array math, reproducing the scalar
   engine's traces segment for segment.
+* :mod:`repro.sim.networked` — the event-ordered scalar reference engine for
+  **networked** batches, where concurrent sessions fair-share
+  :mod:`repro.net` edge-link capacity instead of each playing a private
+  trace (the vector backend has a matching lockstep mode).
 * :mod:`repro.sim.traces` — trace file I/O and bundled synthetic trace sets.
 """
 
@@ -48,9 +52,12 @@ from repro.sim.backend import (
     session_rng,
     spawn_session_seeds,
 )
+from repro.sim.networked import resolve_link_indices, run_networked_scalar
 from repro.sim.vector import ExitStepView, VectorBackend, VectorStepContext
 
 __all__ = [
+    "resolve_link_indices",
+    "run_networked_scalar",
     "ScalarBackend",
     "SessionSpec",
     "SimBackend",

@@ -55,6 +55,14 @@ class SessionSpec:
     ``seed=None`` (the default) resolves to a distinct batch-position-derived
     substream in :func:`resolve_session_seeds` — unseeded specs in one batch
     never share a stream.
+
+    The last three fields only matter to **networked** runs (``run_batch``
+    with a :class:`~repro.net.topology.NetworkTopology`): ``link`` pins the
+    session to an edge link by id (``None`` → deterministic attachment by
+    ``user_id``), ``start_step`` is the slot the session starts downloading
+    at, and ``weight`` is its weighted-fair-share weight.  Un-networked runs
+    ignore them — without a shared bottleneck, sessions are independent, so
+    shifting one in time or reweighting it cannot change its trace.
     """
 
     abr: ABRPolicy
@@ -63,6 +71,15 @@ class SessionSpec:
     exit_model: ExitModel | None = None
     seed: SeedLike = None
     user_id: str = "user"
+    link: str | None = None
+    start_step: int = 0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start_step < 0:
+            raise ValueError("start_step must be non-negative")
+        if self.weight <= 0:
+            raise ValueError("weight must be positive")
 
 
 def session_rng(seed: int | np.random.SeedSequence) -> np.random.Generator:
@@ -109,25 +126,62 @@ class SimBackend(abc.ABC):
 
     @abc.abstractmethod
     def run_batch(
-        self, specs: Sequence[SessionSpec], config: SessionConfig | None = None
+        self,
+        specs: Sequence[SessionSpec],
+        config: SessionConfig | None = None,
+        *,
+        network=None,
+        link_usage=None,
     ) -> list[PlaybackTrace]:
-        """Simulate every spec; results are returned in spec order."""
+        """Simulate every spec; results are returned in spec order.
+
+        With ``network`` (a :class:`~repro.net.topology.NetworkTopology`) the
+        batch runs **coupled**: at every slot the sessions actively
+        downloading on an edge link fair-share its capacity, so each
+        session's observed throughput is the allocator's answer instead of
+        its trace value (the trace becomes the session's access-link
+        *demand*).  ``link_usage`` (a list) collects one
+        :class:`~repro.net.allocator.LinkUsageSample` per link per slot.
+        """
 
     def run(
-        self, spec: SessionSpec, config: SessionConfig | None = None
+        self,
+        spec: SessionSpec,
+        config: SessionConfig | None = None,
+        *,
+        network=None,
+        link_usage=None,
     ) -> PlaybackTrace:
         """Single-session convenience wrapper around :meth:`run_batch`."""
-        return self.run_batch([spec], config)[0]
+        return self.run_batch([spec], config, network=network, link_usage=link_usage)[0]
 
 
 class ScalarBackend(SimBackend):
-    """Reference backend: one sequential :class:`PlaybackSession` per spec."""
+    """Reference backend: one sequential :class:`PlaybackSession` per spec.
+
+    Networked batches route through the event-ordered reference engine of
+    :mod:`repro.sim.networked` — sessions still advance with per-session
+    scalar math (a :class:`~repro.sim.player.PlayerEnvironment` each), but
+    interleaved slot by slot so the shared allocator sees every concurrent
+    download.
+    """
 
     name = "scalar"
 
     def run_batch(
-        self, specs: Sequence[SessionSpec], config: SessionConfig | None = None
+        self,
+        specs: Sequence[SessionSpec],
+        config: SessionConfig | None = None,
+        *,
+        network=None,
+        link_usage=None,
     ) -> list[PlaybackTrace]:
+        if network is not None:
+            from repro.sim.networked import run_networked_scalar
+
+            return run_networked_scalar(
+                specs, network, config, link_usage=link_usage
+            )
         engine = PlaybackSession(config)
         return [
             engine.run(
@@ -177,9 +231,13 @@ def run_sessions(
     specs: Sequence[SessionSpec],
     config: SessionConfig | None = None,
     backend: str | SimBackend | None = "scalar",
+    network=None,
+    link_usage=None,
 ) -> list[PlaybackTrace]:
     """One-call helper: resolve ``backend`` and run ``specs`` through it."""
-    return get_backend(backend).run_batch(specs, config)
+    return get_backend(backend).run_batch(
+        specs, config, network=network, link_usage=link_usage
+    )
 
 
 register_backend("scalar", ScalarBackend)

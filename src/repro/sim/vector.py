@@ -37,10 +37,11 @@ order — so stateful per-user algorithms still see their sessions sequentially.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.net.allocator import allocate_step
 from repro.sim.backend import (
     ScalarBackend,
     SessionSpec,
@@ -50,6 +51,7 @@ from repro.sim.backend import (
     session_rng,
 )
 from repro.sim.bandwidth import BandwidthModel
+from repro.sim.networked import resolve_link_indices, run_networked_scalar
 from repro.sim.player import dynamic_buffer_cap
 from repro.sim.session import PlaybackTrace, SegmentRecord, SessionConfig
 
@@ -132,13 +134,73 @@ class ExitStepView:
     stalled: np.ndarray
 
 
+@dataclass
+class _NetGroup:
+    """One internally-lockstep cohort of a networked batch.
+
+    Sessions are grouped by (ABR type, exit type, ladder, segment duration,
+    ``start_step``): within a group every session sits at the same *local*
+    segment index at every slot, so the existing vector kernels and window
+    reductions apply unchanged.  Coupling across groups flows exclusively
+    through the shared per-slot allocator.
+    """
+
+    indices: np.ndarray  # batch positions of the group's sessions
+    specs: list
+    start: int
+    max_seg: np.ndarray
+    max_steps: int
+    segment_duration: float
+    bitrates: np.ndarray
+    bandwidth: np.ndarray  # (n, max_steps) access-link demand rows
+    sizes: np.ndarray  # (n, max_steps, L)
+    abr_kernel: object
+    exit_kernel: object | None
+    uniforms: np.ndarray | None
+    # mutable lockstep state
+    buffer: np.ndarray = field(init=False)
+    last_level: np.ndarray = field(init=False)
+    cumulative_stall: np.ndarray = field(init=False)
+    stall_count: np.ndarray = field(init=False)
+    alive: np.ndarray = field(init=False)
+    exited_early: np.ndarray = field(init=False)
+    steps_taken: np.ndarray = field(init=False)
+    observed: np.ndarray = field(init=False)  # allocated throughput per local step
+
+    def __post_init__(self) -> None:
+        n = len(self.specs)
+        self.buffer = np.empty(n)  # filled by the engine (initial_buffer)
+        self.last_level = np.full(n, -1, dtype=int)
+        self.cumulative_stall = np.zeros(n)
+        self.stall_count = np.zeros(n, dtype=int)
+        self.alive = np.ones(n, dtype=bool)
+        self.exited_early = np.zeros(n, dtype=bool)
+        self.steps_taken = np.zeros(n, dtype=int)
+        self.observed = np.zeros((n, self.max_steps))
+        self.level_rec = np.zeros((n, self.max_steps), dtype=int)
+        self.size_rec = np.empty((n, self.max_steps))
+        self.download_rec = np.empty((n, self.max_steps))
+        self.stall_rec = np.empty((n, self.max_steps))
+        self.wait_rec = np.empty((n, self.max_steps))
+        self.buffer_before_rec = np.empty((n, self.max_steps))
+        self.buffer_after_rec = np.empty((n, self.max_steps))
+        self.cumulative_rec = np.empty((n, self.max_steps))
+        self.stall_count_rec = np.zeros((n, self.max_steps), dtype=int)
+        self.probability_rec = np.zeros((n, self.max_steps))
+
+
 class VectorBackend(SimBackend):
     """Lockstep struct-of-arrays execution of a batch of session specs."""
 
     name = "vector"
 
     def run_batch(
-        self, specs, config: SessionConfig | None = None
+        self,
+        specs,
+        config: SessionConfig | None = None,
+        *,
+        network=None,
+        link_usage=None,
     ) -> list[PlaybackTrace]:
         config = config or SessionConfig()
         # Pin every spec's seed against the *original* batch order before
@@ -148,6 +210,16 @@ class VectorBackend(SimBackend):
             spec if isinstance(spec.seed, np.random.SeedSequence) else replace(spec, seed=seed)
             for spec, seed in zip(specs, resolve_session_seeds(specs))
         ]
+        if network is not None:
+            if specs and all(self._vectorizable(spec) for spec in specs):
+                return self._run_networked(specs, config, network, link_usage)
+            # Allocation couples every session at every slot, so a networked
+            # batch cannot split into per-session fallbacks the way an
+            # independent batch can: any spec without vector kernels sends
+            # the whole batch to the event-ordered scalar reference engine.
+            return run_networked_scalar(
+                specs, network, config, link_usage=link_usage
+            )
         results: list[PlaybackTrace | None] = [None] * len(specs)
 
         groups: dict[tuple, list[int]] = {}
@@ -400,6 +472,295 @@ class VectorBackend(SimBackend):
             )
             for i, spec in enumerate(specs)
         ]
+
+    def _run_networked(
+        self, specs, config: SessionConfig, network, link_usage
+    ) -> list[PlaybackTrace]:
+        """Coupled lockstep execution: cohorts advance, links fair-share.
+
+        The batch is partitioned into :class:`_NetGroup` cohorts (same ABR /
+        exit types, ladder, segment duration and ``start_step``) that each
+        stay internally lockstep; every slot gathers all cohorts' access-link
+        demands into one batch-order vector, fair-shares each link through
+        the same :func:`~repro.net.allocator.allocate_step` the scalar
+        reference engine calls, and feeds the allocations back as the step's
+        observed throughput — Equation 3, the ABR kernels' windows and the
+        exit kernels all see congestion, which is what closes the feedback
+        loop between load and quality.
+        """
+        num_sessions = len(specs)
+        link_index = resolve_link_indices(network, specs)
+        weights = np.asarray([spec.weight for spec in specs], dtype=float)
+        groups = self._build_net_groups(specs, config)
+        horizon = max(group.start + group.max_steps for group in groups)
+        demand = np.zeros(num_sessions)
+        active_global = np.zeros(num_sessions, dtype=bool)
+
+        for k in range(horizon):
+            demand[:] = 0.0
+            active_global[:] = False
+            stepping: list[tuple[_NetGroup, int, np.ndarray]] = []
+            runnable_any = False
+            for group in groups:
+                j = k - group.start
+                if j < 0:
+                    # Not started: the cohort still counts as runnable (the
+                    # scalar engine keeps emitting idle-slot usage samples
+                    # while any future session exists), but takes no capacity.
+                    runnable_any = runnable_any or bool(group.alive.any())
+                    continue
+                if j >= group.max_steps:
+                    continue
+                active = group.alive & (j < group.max_seg)
+                if active.any():
+                    runnable_any = True
+                    stepping.append((group, j, active))
+                    demand[group.indices] = np.where(
+                        active, group.bandwidth[:, j], 0.0
+                    )
+                    active_global[group.indices] = active
+            if not runnable_any:
+                break
+            allocations = allocate_step(
+                network,
+                k,
+                link_index,
+                demand,
+                active_global,
+                weights,
+                usage_out=link_usage,
+            )
+            for group, j, active in stepping:
+                self._step_net_group(
+                    group, j, active, allocations[group.indices], config
+                )
+
+        results: list[PlaybackTrace | None] = [None] * num_sessions
+        for group in groups:
+            for i, spec in enumerate(group.specs):
+                results[int(group.indices[i])] = self._assemble_trace(
+                    spec,
+                    int(group.steps_taken[i]),
+                    bool(group.exited_early[i]),
+                    group.segment_duration,
+                    group.bitrates,
+                    levels_row=group.level_rec[i],
+                    size_row=group.size_rec[i],
+                    bandwidth_row=group.observed[i],
+                    download_row=group.download_rec[i],
+                    stall_row=group.stall_rec[i],
+                    wait_row=group.wait_rec[i],
+                    buffer_before_row=group.buffer_before_rec[i],
+                    buffer_after_row=group.buffer_after_rec[i],
+                    cumulative_row=group.cumulative_rec[i],
+                    stall_count_row=group.stall_count_rec[i],
+                    probability_row=group.probability_rec[i],
+                )
+        return results
+
+    def _build_net_groups(self, specs, config: SessionConfig) -> list[_NetGroup]:
+        """Partition a networked batch into internally-lockstep cohorts."""
+        grouped: dict[tuple, list[int]] = {}
+        for index, spec in enumerate(specs):
+            key = (
+                type(spec.abr),
+                None if spec.exit_model is None else type(spec.exit_model),
+                spec.video.ladder.bitrates_kbps,
+                spec.video.segment_duration,
+                spec.start_step,
+            )
+            grouped.setdefault(key, []).append(index)
+
+        groups: list[_NetGroup] = []
+        for indices in grouped.values():
+            members = [specs[i] for i in indices]
+            first_video = members[0].video
+            segment_duration = float(first_video.segment_duration)
+            bitrates = np.asarray(first_video.ladder.bitrates_kbps, dtype=float)
+            n = len(members)
+
+            max_seg = np.empty(n, dtype=int)
+            for i, spec in enumerate(members):
+                limit = spec.video.num_segments
+                if config.max_segments is not None:
+                    limit = min(limit, config.max_segments)
+                max_seg[i] = limit
+            max_steps = int(max_seg.max())
+
+            bandwidth = np.empty((n, max_steps))
+            trace_rows: dict[int, np.ndarray] = {}
+            for i, spec in enumerate(members):
+                row = trace_rows.get(id(spec.trace))
+                if row is None:
+                    row = np.resize(
+                        np.asarray(spec.trace.values_kbps, dtype=float), max_steps
+                    )
+                    trace_rows[id(spec.trace)] = row
+                bandwidth[i] = row
+            sizes = np.empty((n, max_steps, bitrates.size))
+            video_rows: dict[int, np.ndarray] = {}
+            step_index = np.arange(max_steps)
+            for i, spec in enumerate(members):
+                block = video_rows.get(id(spec.video))
+                if block is None:
+                    block = spec.video.segment_sizes_kbit[
+                        step_index % spec.video.num_segments
+                    ]
+                    video_rows[id(spec.video)] = block
+                sizes[i] = block
+
+            abr_kernel = type(members[0].abr).vector_kernel(
+                [spec.abr for spec in members]
+            )
+            for spec in members:
+                spec.abr.reset()
+            if members[0].exit_model is not None:
+                models = [spec.exit_model for spec in members]
+                exit_kernel = type(models[0]).vector_exit_kernel(models)
+                for model in models:
+                    model.reset()
+                uniforms = np.empty((n, max_steps))
+                for i, spec in enumerate(members):
+                    uniforms[i] = session_rng(spec.seed).random(max_steps)
+            else:
+                exit_kernel = None
+                uniforms = None
+
+            group = _NetGroup(
+                indices=np.asarray(indices, dtype=int),
+                specs=members,
+                start=members[0].start_step,
+                max_seg=max_seg,
+                max_steps=max_steps,
+                segment_duration=segment_duration,
+                bitrates=bitrates,
+                bandwidth=bandwidth,
+                sizes=sizes,
+                abr_kernel=abr_kernel,
+                exit_kernel=exit_kernel,
+                uniforms=uniforms,
+            )
+            group.buffer[:] = float(config.initial_buffer)
+            groups.append(group)
+        return groups
+
+    @staticmethod
+    def _step_net_group(
+        group: _NetGroup,
+        j: int,
+        active: np.ndarray,
+        allocated: np.ndarray,
+        config: SessionConfig,
+    ) -> None:
+        """Advance one cohort one local step at the allocator's throughputs.
+
+        Identical array math to the un-networked lockstep loop, with two
+        substitutions: the step's bandwidth is the allocation (not the trace
+        value), and the bandwidth-window statistics read from the cohort's
+        *observed* throughput history (the previous allocations) — exactly
+        what the scalar player's :class:`~repro.sim.bandwidth.BandwidthModel`
+        accumulates.
+        """
+        n = len(group.specs)
+        row_index = np.arange(n)
+        # Rows that are done or exited must stay finite through the shared
+        # array expressions; their values are never recorded.
+        alloc = np.where(active, allocated, 1.0)
+
+        if j == 0:
+            window = group.observed[:, 0:0]
+            mean = np.full(n, _PRIOR_MEAN)
+        else:
+            window = group.observed[:, max(0, j - _WINDOW) : j]
+            mean = window.mean(axis=1)
+        if j < 2:
+            std = np.full(n, _PRIOR_STD)
+        else:
+            std = np.maximum(np.std(window, axis=1, ddof=1), 1e-6)
+        buffer_cap = dynamic_buffer_cap(mean, std, base_cap=config.base_buffer_cap)
+
+        context = VectorStepContext(
+            k=j,
+            buffer=group.buffer,
+            buffer_cap=buffer_cap,
+            last_level=group.last_level,
+            segment_sizes=group.sizes[:, j, :],
+            throughput_window=window,
+            bandwidth_mean=mean,
+            bandwidth_std=std,
+            bitrates=group.bitrates,
+            segment_duration=group.segment_duration,
+        )
+        levels = np.asarray(group.abr_kernel(context), dtype=int)
+        num_levels = group.bitrates.size
+        if np.any(active & ((levels < 0) | (levels >= num_levels))):
+            raise ValueError(
+                f"vector ABR kernel returned levels outside "
+                f"[0, {num_levels}) at step {j}"
+            )
+        levels = np.where(active, levels, 0)
+
+        size = group.sizes[:, j, :][row_index, levels]
+        download = size / alloc
+        if j == 0:
+            stall = np.where(
+                group.buffer == 0.0, 0.0, np.maximum(download - group.buffer, 0.0)
+            )
+        else:
+            stall = np.maximum(download - group.buffer, 0.0)
+        drained = np.maximum(group.buffer - download, 0.0)
+        unclipped = drained + group.segment_duration
+        overflow = np.maximum(unclipped - buffer_cap, 0.0)
+        wait = overflow + config.rtt
+        buffer_after = np.maximum(unclipped - overflow, 0.0)
+        buffer_after = np.minimum(buffer_after, buffer_cap)
+
+        stalled = stall > 1e-12
+        group.cumulative_stall = np.where(
+            active, group.cumulative_stall + stall, group.cumulative_stall
+        )
+        group.stall_count = group.stall_count + (active & stalled)
+
+        if group.exit_kernel is not None:
+            view = ExitStepView(
+                k=j,
+                level=levels,
+                previous_level=group.last_level,
+                stall_time=stall,
+                cumulative_stall_time=group.cumulative_stall,
+                stall_count=group.stall_count,
+                watch_time=(j + 1) * group.segment_duration,
+                buffer=buffer_after,
+                throughput=alloc,
+                active=active,
+                stalled=stalled,
+            )
+            probabilities = np.asarray(group.exit_kernel(view), dtype=float)
+            if np.any(
+                active & ~((probabilities >= 0.0) & (probabilities <= 1.0))
+            ):
+                raise ValueError("exit probability must be in [0, 1]")
+            exits = active & (group.uniforms[:, j] < probabilities)
+            group.probability_rec[:, j] = probabilities
+        else:
+            exits = np.zeros(n, dtype=bool)
+
+        group.level_rec[:, j] = levels
+        group.size_rec[:, j] = size
+        group.download_rec[:, j] = download
+        group.stall_rec[:, j] = stall
+        group.wait_rec[:, j] = wait
+        group.buffer_before_rec[:, j] = group.buffer
+        group.buffer_after_rec[:, j] = buffer_after
+        group.cumulative_rec[:, j] = group.cumulative_stall
+        group.stall_count_rec[:, j] = group.stall_count
+        group.observed[:, j] = alloc
+
+        group.steps_taken[active] = j + 1
+        group.exited_early |= exits
+        group.alive &= ~exits
+        group.buffer = np.where(active, buffer_after, group.buffer)
+        group.last_level = np.where(active, levels, group.last_level)
 
     @staticmethod
     def _assemble_trace(

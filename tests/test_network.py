@@ -1,0 +1,504 @@
+"""repro.net test suite: allocator, topology, and the networked engines.
+
+The headline guarantee mirrors ``tests/test_vector_backend.py``: for the same
+spec batch, topology and seeds, the **networked** vector engine reproduces
+the event-ordered scalar reference engine segment for segment (exact
+:class:`SegmentRecord` equality), including the per-slot link-usage stream.
+On top of that, congestion must be *emergent*: adding concurrency to a link
+lowers per-session allocated throughput without anyone scaling a trace.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.abr.bba import BBA
+from repro.abr.bola import BOLA
+from repro.abr.hyb import HYB
+from repro.abr.throughput import ThroughputRule
+from repro.analytics.logs import LinkUtilizationLog
+from repro.net import (
+    MIN_LINK_CAPACITY_KBPS,
+    CrossTraffic,
+    EdgeLink,
+    LinkEvent,
+    NetworkTopology,
+    allocate_step,
+    available_topologies,
+    get_topology,
+    max_min_fair,
+    stable_fraction,
+    stable_user_key,
+)
+from repro.sim import SessionSpec, get_backend, spawn_session_seeds
+from repro.sim.bandwidth import MarkovTraceGenerator, StationaryTraceGenerator
+from repro.sim.session import SessionConfig
+from repro.sim.video import BitrateLadder, Video, VideoLibrary
+from repro.users.engagement import BaselineExitModel, RuleBasedUser
+from repro.users.population import UserPopulation
+
+_ABR_FACTORIES = {
+    "throughput": ThroughputRule,
+    "hyb": HYB,
+    "bba": BBA,
+}
+
+
+def _toy_topology(capacity: float = 9000.0) -> NetworkTopology:
+    return NetworkTopology(
+        name="toy",
+        links=(
+            EdgeLink("hot", capacity, user_share=0.5),
+            EdgeLink("cold", capacity * 6, user_share=0.5),
+        ),
+    )
+
+
+def _spec_batch(
+    abr_name: str,
+    seed: int,
+    num_sessions: int = 10,
+    staggered: bool = True,
+    bursty: bool = False,
+):
+    """Heterogeneous networked batch: per-user exit models, mixed videos/starts."""
+    rng = np.random.default_rng(seed)
+    population = UserPopulation.generate(
+        num_sessions, seed=seed + 1, bandwidth_median_kbps=2500.0
+    )
+    library = VideoLibrary(num_videos=3, mean_duration=30.0, std_duration=10.0, seed=2)
+    generator = (
+        MarkovTraceGenerator() if bursty else StationaryTraceGenerator(1800.0, 500.0)
+    )
+    seeds = spawn_session_seeds(seed, num_sessions)
+    abr = _ABR_FACTORIES[abr_name]()
+    return [
+        SessionSpec(
+            abr=abr,
+            video=library[i % 3],
+            trace=generator.generate(50, rng),
+            exit_model=profile.exit_model(),
+            seed=seeds[i],
+            user_id=profile.user_id,
+            start_step=(i % 4) * 3 if staggered else 0,
+        )
+        for i, profile in enumerate(population)
+    ]
+
+
+def assert_traces_equal(scalar_traces, vector_traces):
+    """Exact, field-for-field equality of two trace lists."""
+    assert len(scalar_traces) == len(vector_traces)
+    for scalar_trace, vector_trace in zip(scalar_traces, vector_traces):
+        assert scalar_trace.user_id == vector_trace.user_id
+        assert scalar_trace.exited_early == vector_trace.exited_early
+        assert len(scalar_trace) == len(vector_trace)
+        for scalar_record, vector_record in zip(
+            scalar_trace.records, vector_trace.records
+        ):
+            assert scalar_record == vector_record
+
+
+class TestMaxMinFair:
+    def test_uncongested_demands_pass_through_exactly(self):
+        demands = np.asarray([100.0, 250.0, 40.0])
+        allocation = max_min_fair(demands, 1000.0)
+        np.testing.assert_array_equal(allocation, demands)
+
+    def test_congested_fills_capacity_without_exceeding_demands(self):
+        rng = np.random.default_rng(0)
+        demands = rng.uniform(10.0, 5000.0, size=64)
+        capacity = float(demands.sum()) * 0.4
+        allocation = max_min_fair(demands, capacity)
+        assert np.all(allocation <= demands + 1e-12)
+        assert allocation.sum() == pytest.approx(capacity, rel=1e-12)
+
+    def test_equal_demands_split_equally(self):
+        allocation = max_min_fair(np.full(8, 1000.0), 4000.0)
+        np.testing.assert_allclose(allocation, np.full(8, 500.0))
+
+    def test_small_demands_served_in_full_large_ones_clipped(self):
+        demands = np.asarray([50.0, 5000.0, 5000.0, 120.0])
+        allocation = max_min_fair(demands, 1170.0)
+        assert allocation[0] == 50.0 and allocation[3] == 120.0
+        np.testing.assert_allclose(allocation[1:3], [500.0, 500.0])
+
+    def test_weighted_shares_are_proportional(self):
+        demands = np.full(3, 10_000.0)
+        weights = np.asarray([1.0, 2.0, 1.0])
+        allocation = max_min_fair(demands, 4000.0, weights)
+        np.testing.assert_allclose(allocation, [1000.0, 2000.0, 1000.0])
+
+    def test_sort_order_invariance(self):
+        rng = np.random.default_rng(3)
+        demands = rng.uniform(10.0, 3000.0, size=32)
+        capacity = 11_000.0
+        allocation = max_min_fair(demands, capacity)
+        order = rng.permutation(demands.size)
+        shuffled = max_min_fair(demands[order], capacity)
+        np.testing.assert_allclose(shuffled, allocation[order], rtol=1e-12)
+
+    def test_validation(self):
+        assert max_min_fair(np.asarray([]), 100.0).size == 0
+        with pytest.raises(ValueError):
+            max_min_fair(np.asarray([10.0]), 0.0)
+        with pytest.raises(ValueError):
+            max_min_fair(np.asarray([-1.0]), 10.0)
+        with pytest.raises(ValueError):
+            max_min_fair(np.asarray([1.0, 2.0]), 10.0, np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            max_min_fair(np.asarray([1.0]), 10.0, np.asarray([0.0]))
+
+    def test_allocate_step_records_idle_links_and_masks_inactive_rows(self):
+        topology = _toy_topology()
+        usage = []
+        allocation = allocate_step(
+            topology,
+            step=4,
+            link_index=np.asarray([0, 0, 1]),
+            demands=np.asarray([8000.0, 8000.0, 500.0]),
+            active=np.asarray([True, False, False]),
+            usage_out=usage,
+        )
+        np.testing.assert_array_equal(allocation, [8000.0, 0.0, 0.0])
+        assert [sample.link_id for sample in usage] == ["hot", "cold"]
+        assert usage[0].active_sessions == 1 and usage[1].active_sessions == 0
+        assert usage[0].step == 4 and usage[1].allocated_kbps == 0.0
+
+
+class TestTopology:
+    def test_attachment_is_deterministic_and_share_weighted(self):
+        topology = NetworkTopology(
+            name="t",
+            links=(
+                EdgeLink("big", 1000.0, user_share=3.0),
+                EdgeLink("small", 1000.0, user_share=1.0),
+            ),
+        )
+        users = [f"u{i:04d}" for i in range(2000)]
+        first = [topology.link_index_for(user) for user in users]
+        assert first == [topology.link_index_for(user) for user in users]
+        big_fraction = first.count(0) / len(first)
+        assert 0.70 < big_fraction < 0.80  # 3:1 shares → ~75%
+
+    def test_capacity_profile_events_and_cross_traffic(self):
+        link = EdgeLink(
+            "l",
+            10_000.0,
+            cross_traffic=CrossTraffic(base_kbps=500.0, peak_kbps=2000.0, period=32),
+            events=(LinkEvent(10, 20, 0.5),),
+        )
+        assert link.capacity_at(0) < 10_000.0  # cross traffic always bites
+        assert link.capacity_at(15) < link.capacity_at(5)  # outage window
+        floor = EdgeLink("f", 100.0, events=(LinkEvent(0, 5, 0.0),))
+        assert floor.capacity_at(2) == MIN_LINK_CAPACITY_KBPS
+
+    def test_builtin_registry_and_resolution(self):
+        names = available_topologies()
+        assert {"single_bottleneck", "dual_isp", "metro_8"} <= set(names)
+        topology = get_topology("dual_isp")
+        assert topology.link_ids == ("fiber", "dsl")
+        assert get_topology(topology) is topology
+        assert get_topology(None) is None
+        with pytest.raises(KeyError):
+            get_topology("not_a_topology")
+
+    def test_restrict_and_with_event(self):
+        topology = get_topology("metro_8")
+        sub = topology.restrict(["metro1", "metro5"])
+        assert sub.link_ids == ("metro1", "metro5")
+        with pytest.raises(KeyError):
+            topology.restrict(["nope"])
+        outage = topology.with_event("metro0", LinkEvent(5, 10, 0.5))
+        assert outage.links[0].events and not topology.links[0].events
+        assert outage.links[0].capacity_at(7) == topology.links[0].capacity_at(7) / 2
+
+    def test_shard_profiles_keep_links_whole(self):
+        topology = get_topology("metro_8")
+        population = UserPopulation.generate(60, seed=0)
+        shards = topology.shard_profiles(population.profiles, 3)
+        assert sum(len(shard) for shard in shards) == 60
+        link_shards = topology.shard_links(3)
+        for shard, link_ids in zip(shards, link_shards):
+            owned = set(link_ids)
+            for profile in shard:
+                assert topology.link_for(profile.user_id).link_id in owned
+
+    def test_topology_pickles(self):
+        topology = get_topology("dual_isp").with_event("dsl", LinkEvent(3, 9, 0.25))
+        clone = pickle.loads(pickle.dumps(topology))
+        assert clone == topology
+        assert clone.capacities_at(5).tolist() == topology.capacities_at(5).tolist()
+
+    def test_stable_helpers(self):
+        assert stable_fraction("u1") == stable_fraction("u1")
+        assert stable_fraction("u1") != stable_fraction("u2")
+        key = stable_user_key("u1")
+        assert key == stable_user_key("u1") and len(key) == 2
+        assert all(0 <= word < 2**32 for word in key)
+
+
+class TestNetworkedEquivalenceGate:
+    @pytest.mark.parametrize("abr_name", sorted(_ABR_FACTORIES))
+    @pytest.mark.parametrize("seed", [0, 13])
+    def test_vector_reproduces_scalar_reference_exactly(self, abr_name, seed):
+        topology = _toy_topology()
+        specs = _spec_batch(abr_name, seed)
+        scalar_usage, vector_usage = [], []
+        scalar_traces = get_backend("scalar").run_batch(
+            specs, SessionConfig(), network=topology, link_usage=scalar_usage
+        )
+        vector_traces = get_backend("vector").run_batch(
+            specs, SessionConfig(), network=topology, link_usage=vector_usage
+        )
+        assert_traces_equal(scalar_traces, vector_traces)
+        assert scalar_usage == vector_usage
+        assert scalar_usage  # coupling actually ran through the allocator
+
+    def test_bursty_traces_and_shaped_topology(self):
+        topology = NetworkTopology(
+            name="shaped",
+            links=(
+                EdgeLink(
+                    "hot",
+                    8000.0,
+                    user_share=0.5,
+                    cross_traffic=CrossTraffic(300.0, 1500.0, period=24),
+                ),
+                EdgeLink("cold", 40_000.0, user_share=0.5, events=(LinkEvent(8, 16, 0.4),)),
+            ),
+        )
+        specs = _spec_batch("hyb", 7, bursty=True)
+        assert_traces_equal(
+            get_backend("scalar").run_batch(specs, network=topology),
+            get_backend("vector").run_batch(specs, network=topology),
+        )
+
+    @pytest.mark.parametrize(
+        "config",
+        [
+            SessionConfig(max_segments=8),
+            SessionConfig(initial_buffer=4.0, rtt=0.02, base_buffer_cap=9.0),
+        ],
+    )
+    def test_session_config_variants(self, config):
+        topology = _toy_topology()
+        specs = _spec_batch("bba", 3, num_sessions=8)
+        assert_traces_equal(
+            get_backend("scalar").run_batch(specs, config, network=topology),
+            get_backend("vector").run_batch(specs, config, network=topology),
+        )
+
+    def test_non_vectorizable_spec_sends_whole_batch_to_reference_engine(self):
+        topology = _toy_topology()
+        video = Video(num_segments=18, seed=5)
+        trace = StationaryTraceGenerator(1500.0, 400.0).generate(
+            30, np.random.default_rng(3)
+        )
+        specs = [
+            SessionSpec(
+                abr=BOLA() if i % 3 == 0 else HYB(),
+                video=video,
+                trace=trace,
+                exit_model=BaselineExitModel(),
+                seed=i,
+                user_id=f"u{i}",
+            )
+            for i in range(9)
+        ]
+        scalar_usage, vector_usage = [], []
+        assert_traces_equal(
+            get_backend("scalar").run_batch(
+                specs, network=topology, link_usage=scalar_usage
+            ),
+            get_backend("vector").run_batch(
+                specs, network=topology, link_usage=vector_usage
+            ),
+        )
+        assert scalar_usage == vector_usage
+
+    def test_stateful_abr_instances_survive_interleaving(self):
+        """Shared stateful ABRs are reset once up front, not mid-flight.
+
+        Concurrent sessions sharing one RobustMPC instance deterministically
+        share its error history (one user, one ABR brain); a second run must
+        reproduce the first exactly, and a spec with its *own* instance must
+        match a solo un-networked run when the link is uncongested.
+        """
+        from repro.abr.robust_mpc import RobustMPC
+
+        fat = NetworkTopology(name="fat", links=(EdgeLink("fat", 1e9),))
+        video = Video(num_segments=16, seed=4)
+        trace = StationaryTraceGenerator(2200.0, 300.0).generate(
+            25, np.random.default_rng(5)
+        )
+        shared = RobustMPC()
+        specs = [
+            SessionSpec(
+                abr=shared,
+                video=video,
+                trace=trace,
+                exit_model=RuleBasedUser(6.0, 4),
+                seed=i,
+                user_id="u-shared",
+                start_step=i * 2,
+            )
+            for i in range(3)
+        ] + [
+            SessionSpec(
+                abr=RobustMPC(),
+                video=video,
+                trace=trace,
+                seed=99,
+                user_id="u-solo",
+                start_step=1,
+            )
+        ]
+        first = get_backend("vector").run_batch(specs, network=fat)
+        second = get_backend("vector").run_batch(specs, network=fat)
+        assert_traces_equal(first, second)
+        solo = get_backend("scalar").run_batch(
+            [
+                SessionSpec(
+                    abr=RobustMPC(), video=video, trace=trace, seed=99, user_id="u-solo"
+                )
+            ]
+        )
+        assert_traces_equal(solo, first[-1:])
+
+    def test_uncongested_networked_equals_unnetworked(self):
+        """With capacity to spare, the allocator must be a perfect no-op."""
+        fat = NetworkTopology(name="fat", links=(EdgeLink("fat", 1e9),))
+        specs = _spec_batch("hyb", 5, staggered=True)
+        plain = [
+            SessionSpec(
+                abr=spec.abr,
+                video=spec.video,
+                trace=spec.trace,
+                exit_model=spec.exit_model,
+                seed=spec.seed,
+                user_id=spec.user_id,
+            )
+            for spec in specs
+        ]
+        unnetworked = get_backend("scalar").run_batch(plain)
+        for backend in ("scalar", "vector"):
+            assert_traces_equal(
+                unnetworked, get_backend(backend).run_batch(specs, network=fat)
+            )
+
+    def test_explicit_link_and_weight_fields(self):
+        topology = _toy_topology()
+        video = Video(num_segments=12, seed=1)
+        trace = StationaryTraceGenerator(6000.0, 100.0).generate(
+            20, np.random.default_rng(0)
+        )
+        specs = [
+            SessionSpec(
+                abr=HYB(),
+                video=video,
+                trace=trace,
+                seed=i,
+                user_id=f"u{i}",
+                link="hot",
+                weight=2.0 if i == 0 else 1.0,
+            )
+            for i in range(6)
+        ]
+        usage = []
+        traces = get_backend("vector").run_batch(specs, network=topology, link_usage=usage)
+        assert_traces_equal(
+            get_backend("scalar").run_batch(specs, network=topology), traces
+        )
+        # all demand landed on the pinned link, and the weighted session got
+        # a strictly larger share while the link was congested
+        assert all(s.active_sessions == 0 for s in usage if s.link_id == "cold")
+        heavy = traces[0].records[2].bandwidth_kbps
+        light = traces[1].records[2].bandwidth_kbps
+        assert heavy > light
+
+    def test_spec_validation(self):
+        video = Video(num_segments=4, seed=0)
+        trace = StationaryTraceGenerator(2000.0).generate(4, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            SessionSpec(abr=HYB(), video=video, trace=trace, start_step=-1)
+        with pytest.raises(ValueError):
+            SessionSpec(abr=HYB(), video=video, trace=trace, weight=0.0)
+        topology = _toy_topology()
+        spec = SessionSpec(
+            abr=HYB(), video=video, trace=trace, seed=0, link="missing"
+        )
+        with pytest.raises(KeyError):
+            get_backend("vector").run_batch([spec], network=topology)
+
+
+class TestEmergentCongestion:
+    @staticmethod
+    def _mean_allocated(num_sessions: int) -> tuple[float, LinkUtilizationLog]:
+        topology = NetworkTopology(name="one", links=(EdgeLink("hot", 20_000.0),))
+        video = Video(num_segments=15, seed=2)
+        trace = StationaryTraceGenerator(4000.0, 200.0).generate(
+            20, np.random.default_rng(1)
+        )
+        specs = [
+            SessionSpec(
+                abr=HYB(), video=video, trace=trace, seed=i, user_id=f"u{i}"
+            )
+            for i in range(num_sessions)
+        ]
+        usage = []
+        get_backend("vector").run_batch(specs, network=topology, link_usage=usage)
+        log = LinkUtilizationLog(usage)
+        return log.mean_allocated_per_session_kbps("hot"), log
+
+    def test_per_session_throughput_drops_as_concurrency_rises(self):
+        lone, log_lone = self._mean_allocated(2)
+        mid, _ = self._mean_allocated(10)
+        crowd, log_crowd = self._mean_allocated(40)
+        assert lone > mid > crowd
+        assert log_lone.congested_slot_fraction("hot") == 0.0
+        assert log_crowd.congested_slot_fraction("hot") > 0.5
+        assert log_crowd.mean_utilization("hot") > 0.95
+
+    def test_outage_window_squeezes_allocations(self):
+        topology = NetworkTopology(
+            name="o",
+            links=(EdgeLink("l", 30_000.0, events=(LinkEvent(5, 10, 0.25),)),),
+        )
+        video = Video(num_segments=15, seed=3)
+        trace = StationaryTraceGenerator(3000.0, 100.0).generate(
+            20, np.random.default_rng(2)
+        )
+        specs = [
+            SessionSpec(abr=HYB(), video=video, trace=trace, seed=i, user_id=f"u{i}")
+            for i in range(12)
+        ]
+        usage = []
+        get_backend("vector").run_batch(specs, network=topology, link_usage=usage)
+        log = LinkUtilizationLog(usage)
+        steps, utilization = log.utilization_timeseries("l")
+        inside = utilization[(steps >= 5) & (steps < 10)]
+        # during the outage the (quartered) link saturates
+        assert inside.min() > 0.95
+        # per-session allocation inside the window is below the access demand
+        congested = [
+            s for s in log.samples if 5 <= s.step < 10 and s.active_sessions > 0
+        ]
+        assert all(s.demand_kbps > s.allocated_kbps for s in congested)
+
+
+class TestLinkUtilizationLog:
+    def test_aggregations_and_validation(self):
+        _, log = TestEmergentCongestion._mean_allocated(6)
+        assert log.links() == ["hot"]
+        assert log.peak_active_sessions() == 6
+        steps, concurrency = log.concurrency_timeseries("hot")
+        assert list(steps) == sorted(steps.tolist())
+        assert concurrency.max() == 6
+        with pytest.raises(KeyError):
+            log.mean_utilization("nope")
+        with pytest.raises(ValueError):
+            LinkUtilizationLog([])
