@@ -9,6 +9,8 @@ the logarithm of the size ratio to the lowest rung, the standard BOLA choice.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.abr.base import ABRAlgorithm, QoEParameters
@@ -48,3 +50,36 @@ class BOLA(ABRAlgorithm):
         if scores[best] < 0:
             return 0
         return best
+
+    @classmethod
+    def vector_kernel(cls, policies: Sequence["BOLA"]):
+        """Batched :meth:`select_level` over a struct-of-arrays step context.
+
+        Returns ``kernel(context) -> levels`` reproducing the scalar rule
+        bit-for-bit: utilities, the control parameter ``V`` and the per-level
+        scores are all elementwise expressions in the scalar code's exact
+        floating-point operation order, ``argmax`` keeps the scalar
+        first-maximum tie break, and a negative best score falls back to the
+        lowest rung exactly as the scalar rule does.
+        """
+        gamma_p = np.asarray([p.gamma_p for p in policies], dtype=float)
+        target_fraction = np.asarray(
+            [p.buffer_target_fraction for p in policies], dtype=float
+        )
+
+        def kernel(context) -> np.ndarray:
+            sizes = context.segment_sizes  # (N, L)
+            utilities = np.log(sizes / sizes[:, :1])
+            buffer_target = target_fraction * context.buffer_cap
+            v = np.maximum(
+                (buffer_target - context.segment_duration)
+                / (utilities[:, -1] + gamma_p),
+                1e-6,
+            )
+            scores = (
+                v[:, None] * (utilities + gamma_p[:, None]) - context.buffer[:, None]
+            ) / sizes
+            best = np.argmax(scores, axis=1)
+            return np.where(scores[np.arange(best.size), best] < 0, 0, best)
+
+        return kernel

@@ -55,9 +55,11 @@ class HYB(ABRAlgorithm):
         Returns ``kernel(context) -> levels`` matching the scalar rule
         bit-for-bit: the highest rung whose expected download time stays
         strictly below ``beta * buffer`` (0 if none qualifies), with the
-        startup level before any throughput has been observed.
+        startup level before any throughput has been observed.  ``beta`` is
+        read from each policy's live :class:`~repro.abr.base.QoEParameters`
+        at every call, so runtime objective adjustments (LingXi) take effect
+        mid-batch exactly as they would in the scalar loop.
         """
-        beta = np.asarray([p.parameters.beta for p in policies], dtype=float)
         window = np.asarray([p.throughput_window for p in policies], dtype=int)
         startup = np.asarray([p.startup_level for p in policies], dtype=int)
 
@@ -65,6 +67,7 @@ class HYB(ABRAlgorithm):
             num_levels = context.bitrates.size
             if context.k == 0:
                 return np.minimum(startup, num_levels - 1)
+            beta = np.asarray([p.parameters.beta for p in policies], dtype=float)
             throughput = context.harmonic_throughput(window)
             budget = beta * np.maximum(context.buffer, 0.0)
             download_times = context.segment_sizes / np.maximum(throughput, 1e-9)[:, None]

@@ -12,6 +12,7 @@ only the first decision.
 from __future__ import annotations
 
 import itertools
+from typing import Sequence
 
 import numpy as np
 
@@ -93,3 +94,108 @@ class RobustMPC(ABRAlgorithm):
                 best_score = score
                 best_first = sequence[0]
         return best_first
+
+    @classmethod
+    def vector_kernel(cls, policies: Sequence["RobustMPC"]):
+        """Batched :meth:`select_level` over a struct-of-arrays step context.
+
+        RobustMPC is stateful (rolling prediction errors, last prediction);
+        the kernel owns that state as per-row arrays, initialised to the
+        post-:meth:`reset` state, so every row behaves exactly like a freshly
+        reset scalar instance advanced call by call — including when several
+        rows share one policy object (the scalar engine resets it before each
+        sequential session anyway).
+
+        The horizon enumeration is evaluated as a prefix tree: level
+        sequences in ``itertools.product`` order share their prefix sums, so
+        each leaf's score accumulates through the identical sequence of
+        float additions the scalar loop performs, and the first-maximum
+        ``argmax`` over leaves reproduces the scalar strict ``>`` tie break.
+        Memory is ``O(num_levels ** horizon * N)`` per step.
+
+        ``stall_penalty`` / ``switch_penalty`` are read from each policy's
+        live :class:`~repro.abr.base.QoEParameters` at every call, so runtime
+        objective adjustments (LingXi) take effect mid-batch.
+        """
+        horizons = np.asarray([p.horizon for p in policies], dtype=int)
+        windows = np.asarray([p.throughput_window for p in policies], dtype=int)
+        num_rows = len(policies)
+        max_window = int(windows.max()) if num_rows else 0
+        # Rolling per-row error history: one (N,) column appended per step
+        # from k=2 on, trimmed to the longest policy window.
+        error_columns: list[np.ndarray] = []
+        last_prediction = np.full(num_rows, np.nan)
+
+        def kernel(context) -> np.ndarray:
+            if context.k == 0:
+                return np.zeros(num_rows, dtype=int)
+            # --- _robust_throughput, batched ---------------------------------
+            # Every row records its first error at the same step (the first
+            # call with a previous prediction, k == 2), so the shared column
+            # list is uniform: row i's scalar ``_past_errors`` is exactly the
+            # last ``min(window_i, len(error_columns))`` column entries.
+            actual = context.throughput_window[:, -1]
+            if num_rows and not np.isnan(last_prediction[0]):
+                error = np.abs(last_prediction - actual) / np.maximum(actual, 1e-9)
+                error_columns.append(error)
+                if len(error_columns) > max_window:
+                    del error_columns[: len(error_columns) - max_window]
+            estimate = context.harmonic_throughput(windows)
+            max_error = np.zeros(num_rows)
+            if error_columns:
+                stacked = np.stack(error_columns, axis=1)  # (N, history)
+                history = stacked.shape[1]
+                for window in np.unique(windows):
+                    rows = windows == window
+                    effective = min(int(window), history)
+                    max_error[rows] = stacked[rows][:, history - effective :].max(
+                        axis=1
+                    )
+            robust = estimate / (1.0 + max_error)
+            last_prediction[:] = estimate
+            throughput = np.maximum(robust, 1e-6)
+
+            # --- horizon enumeration as a prefix tree ------------------------
+            qualities = context.bitrates / 1000.0  # == ladder.qualities()
+            mu = np.asarray([p.parameters.stall_penalty for p in policies])
+            switch = np.asarray([p.parameters.switch_penalty for p in policies])
+            sizes = context.segment_sizes  # (N, L)
+            num_levels = qualities.size
+            download = sizes / throughput[:, None]  # (N, L)
+            last_quality = np.where(
+                context.last_level >= 0,
+                qualities[np.maximum(context.last_level, 0)],
+                qualities[0],
+            )
+
+            result = np.zeros(num_rows, dtype=int)
+            for horizon in np.unique(horizons):
+                rows = np.flatnonzero(horizons == horizon)
+                buffer = context.buffer[rows][None, :]  # (P, n)
+                previous_quality = last_quality[rows][None, :]
+                score = np.zeros((1, rows.size))
+                down = download[rows].T[None, :, :]  # (1, L, n)
+                cap = context.buffer_cap[rows]
+                q = qualities[None, :, None]  # (1, L, 1)
+                for _depth in range(int(horizon)):
+                    stall = np.maximum(down - buffer[:, None, :], 0.0)
+                    new_buffer = (
+                        np.maximum(buffer[:, None, :] - down, 0.0)
+                        + context.segment_duration
+                    )
+                    new_buffer = np.minimum(new_buffer, cap)
+                    increment = (q - mu[rows] * stall) - switch[rows] * np.abs(
+                        q - previous_quality[:, None, :]
+                    )
+                    score = score[:, None, :] + increment
+                    paths = score.shape[0] * num_levels
+                    score = score.reshape(paths, rows.size)
+                    buffer = new_buffer.reshape(paths, rows.size)
+                    previous_quality = np.broadcast_to(
+                        q, (new_buffer.shape[0], num_levels, rows.size)
+                    ).reshape(paths, rows.size)
+                best_leaf = np.argmax(score, axis=0)
+                result[rows] = best_leaf // num_levels ** (int(horizon) - 1)
+            return result
+
+        return kernel

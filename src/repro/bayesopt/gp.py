@@ -30,18 +30,36 @@ class GaussianProcess:
         """Number of fitted observations."""
         return 0 if self._x is None else self._x.shape[0]
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
-        """Fit the GP to observations ``x`` (n, d) and targets ``y`` (n,)."""
+    def fit(
+        self, x: np.ndarray, y: np.ndarray, noise_scale: np.ndarray | None = None
+    ) -> "GaussianProcess":
+        """Fit the GP to observations ``x`` (n, d) and targets ``y`` (n,).
+
+        ``noise_scale`` optionally scales the observation-noise variance per
+        observation (``noise * noise_scale[i]`` on the diagonal): values above
+        1 soften an observation's pull on the posterior, which is how decayed
+        warm-start trials enter the online optimizer as weaker evidence.  The
+        default (all ones) reproduces the homoscedastic fit exactly.
+        """
         x = np.atleast_2d(np.asarray(x, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if x.shape[0] != y.shape[0]:
             raise ValueError("x and y must have the same number of rows")
         if x.shape[0] == 0:
             raise ValueError("need at least one observation")
+        if noise_scale is None:
+            noise_diag = np.full(x.shape[0], self.noise + 1e-10)
+        else:
+            noise_scale = np.asarray(noise_scale, dtype=float).ravel()
+            if noise_scale.shape[0] != x.shape[0]:
+                raise ValueError("noise_scale must have one entry per observation")
+            if np.any(noise_scale <= 0):
+                raise ValueError("noise_scale entries must be positive")
+            noise_diag = (self.noise + 1e-10) * noise_scale
         self._x = x
         self._y_mean = float(y.mean())
         centred = y - self._y_mean
-        covariance = self.kernel(x, x) + (self.noise + 1e-10) * np.eye(x.shape[0])
+        covariance = self.kernel(x, x) + np.diag(noise_diag)
         # Add jitter until the Cholesky succeeds (degenerate repeated points).
         jitter = 0.0
         for _ in range(6):

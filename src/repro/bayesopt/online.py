@@ -52,13 +52,31 @@ class OnlineBayesianOptimizer:
             return None
         return min(self._history, key=lambda t: t.value)
 
+    #: Warm-start trials whose decayed weight falls below this are dropped
+    #: from the new round's surrogate entirely.
+    MIN_WARM_START_WEIGHT = 0.1
+
     def start_round(self, incumbent: np.ndarray | None = None, incumbent_value: float | None = None) -> None:
         """Begin a new activation (``OBO.init`` in Algorithm 1).
 
         ``incumbent``/``incumbent_value`` optionally record the currently
         deployed parameters and their freshly measured objective, which become
-        part of the warm start.
+        part of the warm start; supplying one without the other is an error
+        (a half-specified incumbent used to be silently discarded).
+
+        Decay semantics: the warm start walks the retained history from
+        newest to oldest with weight ``decay ** age``.  A trial's weight both
+        *gates* its inclusion (below :attr:`MIN_WARM_START_WEIGHT` it is
+        dropped) and *weights* the surviving observation in the new
+        surrogate — the GP's noise for that trial scales by ``1 / weight``,
+        so stale measurements pull the posterior progressively less than
+        fresh ones instead of counting as full-strength evidence.
         """
+        if (incumbent is None) != (incumbent_value is None):
+            raise ValueError(
+                "incumbent and incumbent_value must be supplied together "
+                "(got only one of them)"
+            )
         self._round += 1
         optimizer = BayesianOptimizer(
             bounds=self.bounds,
@@ -69,13 +87,13 @@ class OnlineBayesianOptimizer:
             self._history.append(
                 Trial(x=tuple(float(v) for v in np.asarray(incumbent, dtype=float)), value=float(incumbent_value))
             )
-        # Decayed warm start: keep the most recent trials, best first.
+        # Decayed warm start: most recent trials, newest weighted strongest.
         recent = self._history[-self.memory :]
         for age, trial in enumerate(reversed(recent)):
             weight = self.decay**age
-            if weight < 0.1:
+            if weight < self.MIN_WARM_START_WEIGHT:
                 continue
-            optimizer.update(np.asarray(trial.x), trial.value)
+            optimizer.update(np.asarray(trial.x), trial.value, weight=weight)
         self._active = optimizer
 
     def next_candidate(self) -> np.ndarray:

@@ -61,6 +61,9 @@ class BayesianOptimizer:
             kernel=Matern52Kernel(length_scale=kernel_length_scale), noise=noise
         )
         self.trials: list[Trial] = []
+        #: Per-trial observation weights (parallel to ``trials``); a weight
+        #: below 1 inflates that observation's GP noise by ``1 / weight``.
+        self.weights: list[float] = []
 
     @property
     def dimension(self) -> int:
@@ -87,7 +90,11 @@ class BayesianOptimizer:
 
         x = np.asarray([t.x for t in self.trials], dtype=float)
         y = np.asarray([t.value for t in self.trials], dtype=float)
-        self.gp.fit(self._normalise(x), y)
+        weights = np.asarray(self.weights, dtype=float)
+        if np.all(weights == 1.0):
+            self.gp.fit(self._normalise(x), y)
+        else:
+            self.gp.fit(self._normalise(x), y, noise_scale=1.0 / weights)
 
         candidates = self.rng.random((self.num_candidates, self.dimension))
         best = self.best_trial
@@ -107,14 +114,23 @@ class BayesianOptimizer:
             scores = lower_confidence_bound(mean, std)
         return self._denormalise(candidates[int(np.argmax(scores))])
 
-    def update(self, x: np.ndarray, value: float) -> None:
-        """Record the observed objective ``value`` at candidate ``x``."""
+    def update(self, x: np.ndarray, value: float, weight: float = 1.0) -> None:
+        """Record the observed objective ``value`` at candidate ``x``.
+
+        ``weight`` (in ``(0, 1]``) marks softer evidence: the GP treats the
+        observation with noise variance scaled by ``1 / weight``, so decayed
+        warm-start trials influence the surrogate without being mistaken for
+        fresh measurements.
+        """
         x = np.asarray(x, dtype=float).ravel()
         if x.shape[0] != self.dimension:
             raise ValueError("candidate has the wrong dimensionality")
         if not np.isfinite(value):
             raise ValueError("objective value must be finite")
+        if not 0.0 < weight <= 1.0:
+            raise ValueError("weight must be in (0, 1]")
         self.trials.append(Trial(x=tuple(float(v) for v in x), value=float(value)))
+        self.weights.append(float(weight))
 
     def minimize(self, objective, num_iterations: int = 20) -> Trial:
         """Convenience loop: suggest → evaluate → update, returning the best trial."""

@@ -120,6 +120,51 @@ class LingXiController:
             return False
         return True
 
+    def draw_activation_seed(self) -> int:
+        """Seed shared by all candidates of one activation (common random numbers).
+
+        Drawn from the controller's private stream, one per activation, so a
+        controller's sequence of activation seeds is independent of *where*
+        its sessions execute (scalar loop or the lockstep controller host).
+        """
+        return int(self._rng.integers(2**31 - 1))
+
+    def select_best(
+        self, candidates: list[QoEParameters], values: list[float]
+    ) -> tuple[QoEParameters, float]:
+        """Lowest-predicted-exit-rate candidate (first wins ties), as the
+        fixed-mode sweep picks it; falls back to the current deployment when
+        every value is non-finite."""
+        best_value = float("inf")
+        best_parameters = self.best_parameters
+        for candidate, value in zip(candidates, values):
+            if value < best_value:
+                best_value = value
+                best_parameters = candidate
+        return best_parameters, best_value
+
+    def finish_activation(
+        self, best_parameters: QoEParameters, best_value: float, evaluated: int
+    ) -> QoEParameters:
+        """Record one completed activation and deploy its winner.
+
+        Shared bookkeeping tail of :meth:`optimize`, also driven directly by
+        :class:`~repro.core.vector_host.VectorControllerHost` when the
+        evaluation itself was batched across sessions.
+        """
+        self.history.append(
+            OptimizationEvent(
+                activation_index=len(self.history),
+                trigger_stall_count=self.stalls_since_optimization,
+                chosen_parameters=best_parameters,
+                predicted_exit_rate=float(best_value),
+                candidates_evaluated=evaluated,
+            )
+        )
+        self.best_parameters = best_parameters
+        self.stalls_since_optimization = 0
+        return best_parameters
+
     def optimize(self, abr: ABRAlgorithm, snapshot: PlayerSnapshot) -> QoEParameters:
         """Run one activation: evaluate candidates and deploy the best one.
 
@@ -127,7 +172,7 @@ class LingXiController:
         numbers (the same Monte-Carlo seed), so the comparison between
         candidates is paired and not dominated by sampling noise.
         """
-        activation_seed = int(self._rng.integers(2**31 - 1))
+        activation_seed = self.draw_activation_seed()
 
         def evaluate(parameters: QoEParameters, best: float) -> float:
             return self.evaluator.evaluate(
@@ -168,12 +213,7 @@ class LingXiController:
                     value = evaluate(candidate, best_so_far)
                     values.append(value)
                     best_so_far = min(best_so_far, value)
-            best_value = float("inf")
-            best_parameters = self.best_parameters
-            for candidate, value in zip(candidates, values):
-                if value < best_value:
-                    best_value = value
-                    best_parameters = candidate
+            best_parameters, best_value = self.select_best(candidates, values)
             evaluated = len(candidates)
         else:
             incumbent_vector = self.parameter_space.to_vector(self.best_parameters)
@@ -191,18 +231,7 @@ class LingXiController:
                     best_parameters = candidate
             evaluated = self.config.max_sample_times + 1
 
-        self.history.append(
-            OptimizationEvent(
-                activation_index=len(self.history),
-                trigger_stall_count=self.stalls_since_optimization,
-                chosen_parameters=best_parameters,
-                predicted_exit_rate=float(best_value),
-                candidates_evaluated=evaluated,
-            )
-        )
-        self.best_parameters = best_parameters
-        self.stalls_since_optimization = 0
-        return best_parameters
+        return self.finish_activation(best_parameters, best_value, evaluated)
 
 
 class LingXiABR(ABRAlgorithm):

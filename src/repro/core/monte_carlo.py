@@ -114,10 +114,11 @@ class MonteCarloEvaluator:
                 last_level = snapshot.last_level
                 simulated_time = 0.0
                 while simulated_time < self.config.max_sample_duration_s:
+                    buffer_cap = environment.buffer_cap
                     context = ABRContext(
                         segment_index=environment.segment_index,
                         buffer=environment.buffer,
-                        buffer_cap=environment.buffer_cap,
+                        buffer_cap=buffer_cap,
                         last_level=last_level,
                         throughput_history_kbps=tuple(throughputs[-8:]),
                         next_segment_sizes_kbit=video.sizes_tuple(
@@ -130,7 +131,7 @@ class MonteCarloEvaluator:
                     )
                     level = int(abr.select_level(context))
                     bandwidth = float(frozen_bandwidth.sample(rng))
-                    result = environment.step(level, bandwidth)
+                    result = environment.step(level, bandwidth, buffer_cap=buffer_cap)
 
                     simulated_state.observe_segment(
                         bitrate_kbps=result.bitrate_kbps,

@@ -23,6 +23,7 @@ from repro.fleet.checkpoint import (
     FleetCheckpoint,
     checkpoint_controllers,
     load_fleet_checkpoint,
+    register_checkpoint_migration,
     restore_controllers,
     save_checkpoint_states,
     save_fleet_checkpoint,
@@ -73,6 +74,7 @@ __all__ = [
     "FleetCheckpoint",
     "checkpoint_controllers",
     "load_fleet_checkpoint",
+    "register_checkpoint_migration",
     "restore_controllers",
     "save_checkpoint_states",
     "save_fleet_checkpoint",

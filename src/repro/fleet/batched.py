@@ -23,6 +23,7 @@ This module replaces that hot path with two pieces:
 from __future__ import annotations
 
 import copy
+from dataclasses import dataclass, field
 from typing import Sequence
 
 import numpy as np
@@ -35,6 +36,61 @@ from repro.core.triggers import PruningPolicy
 from repro.datasets.stall_dataset import NUM_FEATURES, WINDOW_LENGTH
 from repro.sim.player import PlayerEnvironment
 from repro.sim.session import ABRContext
+
+
+@dataclass
+class RolloutRequest:
+    """One session's share of a cross-session Monte-Carlo evaluation.
+
+    A request bundles everything :meth:`BatchedMonteCarloEvaluator.evaluate`
+    (one candidate) or :meth:`~BatchedMonteCarloEvaluator.evaluate_many`
+    (a sweep) needs for a *single* session — its candidates, ABR template,
+    player snapshot, user state and per-candidate RNGs — so that several
+    sessions' evaluations can advance as one flattened lockstep rollout with
+    a single NN forward per virtual step across all of them
+    (:meth:`BatchedMonteCarloEvaluator.evaluate_requests`).
+
+    ``config`` / ``pruning`` default to the evaluator's own; single-candidate
+    requests apply the virtual-playback pruning rule against
+    ``best_exit_rate`` exactly like a standalone ``evaluate`` call.
+    """
+
+    candidates: Sequence[QoEParameters]
+    abr: ABRAlgorithm
+    snapshot: PlayerSnapshot
+    user_state: UserState
+    rngs: Sequence[np.random.Generator]
+    best_exit_rate: float = float("inf")
+    config: MonteCarloConfig | None = None
+    pruning: PruningPolicy | None = None
+
+
+@dataclass
+class _RolloutBlock:
+    """Mutable lockstep state of one (request, candidate) pair."""
+
+    request_index: int
+    candidate_index: int
+    rng: np.random.Generator
+    video: object
+    frozen_bandwidth: object
+    snapshot: PlayerSnapshot
+    pruning: PruningPolicy
+    prune: bool
+    best_exit_rate: float
+    num_steps: int
+    abrs: list[ABRAlgorithm]
+    environments: list[PlayerEnvironment]
+    states: list[UserState]
+    throughputs: list[list[float]]
+    last_levels: list[int | None]
+    alive: np.ndarray = field(init=False)
+    exited: int = 0
+    watched: int = 0
+    done: bool = False
+
+    def __post_init__(self) -> None:
+        self.alive = np.ones(len(self.abrs), dtype=bool)
 
 
 class BatchedExitPredictor:
@@ -160,14 +216,18 @@ class BatchedMonteCarloEvaluator:
     ) -> float:
         """Estimated exit rate ``R_exit`` for ``parameters`` (batched rollout)."""
         rng = rng or np.random.default_rng(self.config.seed)
-        return self._rollout(
-            [parameters],
-            abr,
-            snapshot,
-            user_state,
-            rngs=[rng],
-            best_exit_rate=best_exit_rate,
-        )[0]
+        return self.evaluate_requests(
+            [
+                RolloutRequest(
+                    candidates=[parameters],
+                    abr=abr,
+                    snapshot=snapshot,
+                    user_state=user_state,
+                    rngs=[rng],
+                    best_exit_rate=best_exit_rate,
+                )
+            ]
+        )[0][0]
 
     def evaluate_many(
         self,
@@ -194,105 +254,152 @@ class BatchedMonteCarloEvaluator:
             rngs = source.spawn(len(parameters_list))
         if len(rngs) != len(parameters_list):
             raise ValueError("need exactly one RNG per candidate")
-        return self._rollout(
-            list(parameters_list),
-            abr,
-            snapshot,
-            user_state,
-            rngs=list(rngs),
-            best_exit_rate=float("inf"),
-        )
+        return self.evaluate_requests(
+            [
+                RolloutRequest(
+                    candidates=list(parameters_list),
+                    abr=abr,
+                    snapshot=snapshot,
+                    user_state=user_state,
+                    rngs=list(rngs),
+                )
+            ]
+        )[0]
 
-    def _rollout(
-        self,
-        candidates: list[QoEParameters],
-        abr: ABRAlgorithm,
-        snapshot: PlayerSnapshot,
-        user_state: UserState,
-        rngs: list[np.random.Generator],
-        best_exit_rate: float,
-    ) -> list[float]:
-        """Advance ``len(candidates) * M`` virtual rollouts in lockstep.
+    def evaluate_requests(
+        self, requests: Sequence[RolloutRequest]
+    ) -> list[list[float]]:
+        """Advance *all* requests' rollouts in one flattened lockstep batch.
 
-        Every step draws each candidate's bandwidths and exit uniforms from
-        that candidate's own generator (in the same order as a standalone
-        :meth:`evaluate` call would), advances the per-rollout player
-        environments, and scores **all** alive rollouts with one batched
-        predictor call.  Pruning against ``best_exit_rate`` only applies to
-        single-candidate rollouts (the :meth:`evaluate` path).
+        This is the cross-session generalisation of the single-session
+        rollout: each :class:`RolloutRequest` contributes ``C_r × M_r``
+        virtual playbacks, every step draws each (request, candidate) block's
+        bandwidths and exit uniforms from that block's own generator (in the
+        same order a standalone :meth:`evaluate` / :meth:`evaluate_many` call
+        would), and **one** batched predictor call scores every alive rollout
+        of every request.  Results come back per request, per candidate.
+
+        Blocks never share randomness, so the flattening is exact: each
+        request's values equal what its own single-request call would return
+        (this is what lets the lockstep controller host batch all
+        concurrently-optimizing sessions into one NN forward per step).
+        Single-candidate requests apply the virtual-playback pruning rule
+        against their ``best_exit_rate`` and drop out of the batch the moment
+        they abort, exactly like a standalone ``evaluate``.
         """
-        saved_parameters = abr.parameters
-        video = virtual_video(snapshot, self.config)
-        frozen_bandwidth = snapshot.bandwidth_model
-        num_samples = self.config.num_samples
-        num_candidates = len(candidates)
-        prune = num_candidates == 1
-        exited = [0] * num_candidates
-        watched = [0] * num_candidates
+        saved: dict[int, tuple[ABRAlgorithm, QoEParameters]] = {}
+        results: list[list[float | None]] = [
+            [None] * len(request.candidates) for request in requests
+        ]
+        blocks: list[_RolloutBlock] = []
         try:
-            abrs: list[list[ABRAlgorithm]] = []
-            environments: list[list[PlayerEnvironment]] = []
-            states: list[list[UserState]] = []
-            throughputs: list[list[list[float]]] = []
-            last_levels: list[list[int | None]] = []
-            for parameters in candidates:
-                abr.set_parameters(parameters)
-                clones = []
-                for _ in range(num_samples):
-                    clone = copy.deepcopy(abr)
-                    clone.reset()
-                    clones.append(clone)
-                abrs.append(clones)
-                environments.append(
-                    [
-                        PlayerEnvironment(
-                            video=video,
-                            rtt=snapshot.rtt,
-                            initial_buffer=snapshot.buffer,
-                            base_buffer_cap=snapshot.base_buffer_cap,
-                            bandwidth_model=frozen_bandwidth.copy(),
-                        )
-                        for _ in range(num_samples)
+            for r, request in enumerate(requests):
+                config = request.config or self.config
+                pruning = request.pruning or self.pruning
+                if len(request.rngs) != len(request.candidates):
+                    raise ValueError("need exactly one RNG per candidate")
+                video = virtual_video(request.snapshot, config)
+                frozen_bandwidth = request.snapshot.bandwidth_model
+                num_steps = int(
+                    np.ceil(
+                        config.max_sample_duration_s
+                        / request.snapshot.segment_duration
+                    )
+                )
+                if id(request.abr) not in saved:
+                    saved[id(request.abr)] = (request.abr, request.abr.parameters)
+                # Stateless ABRs (no ``reset`` override — the same convention
+                # the vector backend's cohort routing uses) are never mutated
+                # during a rollout, so all M samples of a candidate can share
+                # one parameter-pinned clone instead of M deep copies.
+                reset = getattr(type(request.abr), "reset", None)
+                stateless = (
+                    getattr(reset, "__qualname__", "") == "ABRAlgorithm.reset"
+                )
+                for c, parameters in enumerate(request.candidates):
+                    request.abr.set_parameters(parameters)
+                    if stateless:
+                        clone = copy.deepcopy(request.abr)
+                        clone.reset()
+                        clones = [clone] * config.num_samples
+                    else:
+                        clones = []
+                        for _ in range(config.num_samples):
+                            clone = copy.deepcopy(request.abr)
+                            clone.reset()
+                            clones.append(clone)
+                    states = [
+                        request.user_state.copy() for _ in range(config.num_samples)
                     ]
-                )
-                candidate_states = [user_state.copy() for _ in range(num_samples)]
-                states.append(candidate_states)
-                throughputs.append(
-                    [list(state.throughputs_kbps) for state in candidate_states]
-                )
-                last_levels.append([snapshot.last_level] * num_samples)
-            alive = np.ones((num_candidates, num_samples), dtype=bool)
+                    blocks.append(
+                        _RolloutBlock(
+                            request_index=r,
+                            candidate_index=c,
+                            rng=request.rngs[c],
+                            video=video,
+                            frozen_bandwidth=frozen_bandwidth,
+                            snapshot=request.snapshot,
+                            pruning=pruning,
+                            prune=len(request.candidates) == 1,
+                            best_exit_rate=request.best_exit_rate,
+                            num_steps=num_steps,
+                            abrs=clones,
+                            environments=[
+                                PlayerEnvironment(
+                                    video=video,
+                                    rtt=request.snapshot.rtt,
+                                    initial_buffer=request.snapshot.buffer,
+                                    base_buffer_cap=request.snapshot.base_buffer_cap,
+                                    bandwidth_model=frozen_bandwidth.copy(),
+                                )
+                                for _ in range(config.num_samples)
+                            ],
+                            states=states,
+                            throughputs=[
+                                list(state.throughputs_kbps) for state in states
+                            ],
+                            last_levels=[request.snapshot.last_level]
+                            * config.num_samples,
+                        )
+                    )
 
-            num_steps = int(
-                np.ceil(self.config.max_sample_duration_s / snapshot.segment_duration)
-            )
-            for _step in range(num_steps):
-                total_alive = int(np.count_nonzero(alive))
+            max_steps = max((block.num_steps for block in blocks), default=0)
+            for step in range(max_steps):
+                stepping: list[tuple[_RolloutBlock, np.ndarray, int]] = []
+                total_alive = 0
+                for block in blocks:
+                    if block.done or step >= block.num_steps:
+                        continue
+                    indices = np.flatnonzero(block.alive)
+                    if indices.size == 0:
+                        continue
+                    stepping.append((block, indices, total_alive))
+                    total_alive += int(indices.size)
                 if total_alive == 0:
                     break
                 levels = np.empty(total_alive, dtype=int)
                 switches = np.empty(total_alive, dtype=int)
                 stalled = np.empty(total_alive, dtype=bool)
                 features = np.zeros((total_alive, NUM_FEATURES, WINDOW_LENGTH))
-                spans: list[tuple[int, np.ndarray, int]] = []
-                offset = 0
-                for c in range(num_candidates):
-                    indices = np.flatnonzero(alive[c])
-                    if indices.size == 0:
-                        continue
-                    spans.append((c, indices, offset))
+                for block, indices, offset in stepping:
+                    snapshot = block.snapshot
+                    frozen_bandwidth = block.frozen_bandwidth
+                    video = block.video
                     bandwidths = np.atleast_1d(
-                        frozen_bandwidth.sample(rngs[c], size=indices.size)
+                        frozen_bandwidth.sample(block.rng, size=indices.size)
                     )
                     for j, i in enumerate(indices):
                         row = offset + j
-                        environment = environments[c][i]
+                        environment = block.environments[i]
+                        buffer_cap = environment.buffer_cap
                         context = ABRContext(
                             segment_index=environment.segment_index,
                             buffer=environment.buffer,
-                            buffer_cap=environment.buffer_cap,
-                            last_level=last_levels[c][i],
-                            throughput_history_kbps=tuple(throughputs[c][i][-8:]),
+                            buffer_cap=buffer_cap,
+                            last_level=block.last_levels[i],
+                            throughput_history_kbps=tuple(
+                                block.throughputs[i][-8:]
+                            ),
                             next_segment_sizes_kbit=video.sizes_tuple(
                                 environment.segment_index
                             ),
@@ -301,45 +408,52 @@ class BatchedMonteCarloEvaluator:
                             bandwidth_mean_kbps=frozen_bandwidth.mean,
                             bandwidth_std_kbps=frozen_bandwidth.std,
                         )
-                        level = int(abrs[c][i].select_level(context))
-                        result = environment.step(level, float(bandwidths[j]))
-                        states[c][i].observe_segment(
+                        level = int(block.abrs[i].select_level(context))
+                        result = environment.step(
+                            level, float(bandwidths[j]), buffer_cap=buffer_cap
+                        )
+                        block.states[i].observe_segment(
                             bitrate_kbps=result.bitrate_kbps,
                             throughput_kbps=result.throughput_kbps,
                             stall_time=result.stall_time,
                             segment_duration=snapshot.segment_duration,
                         )
-                        throughputs[c][i].append(result.throughput_kbps)
+                        block.throughputs[i].append(result.throughput_kbps)
                         levels[row] = level
                         switches[row] = (
                             0
-                            if last_levels[c][i] is None
-                            else level - last_levels[c][i]
+                            if block.last_levels[i] is None
+                            else level - block.last_levels[i]
                         )
                         stalled[row] = result.stall_time > 1e-12
                         if stalled[row]:
-                            features[row] = states[c][i].feature_matrix()
-                        last_levels[c][i] = level
-                    offset += indices.size
+                            features[row] = block.states[i].feature_matrix()
+                        block.last_levels[i] = level
 
                 probabilities = self.predictor.predict_many(
                     features, levels, switches, stalled
                 )
-                for c, indices, start in spans:
+                for block, indices, start in stepping:
                     exits = (
-                        rngs[c].random(indices.size)
+                        block.rng.random(indices.size)
                         < probabilities[start : start + indices.size]
                     )
-                    watched[c] += int(indices.size)
-                    exited[c] += int(np.count_nonzero(exits))
-                    alive[c][indices[exits]] = False
-                    if prune and self.pruning.abort_candidate(
-                        exited[c], watched[c], best_exit_rate
+                    block.watched += int(indices.size)
+                    block.exited += int(np.count_nonzero(exits))
+                    block.alive[indices[exits]] = False
+                    if block.prune and block.pruning.abort_candidate(
+                        block.exited, block.watched, block.best_exit_rate
                     ):
-                        return [exited[c] / watched[c]]
+                        block.done = True
+                        results[block.request_index][block.candidate_index] = (
+                            block.exited / block.watched
+                        )
         finally:
-            abr.set_parameters(saved_parameters)
-        return [
-            exited[c] / watched[c] if watched[c] else 1.0
-            for c in range(num_candidates)
-        ]
+            for abr, parameters in saved.values():
+                abr.set_parameters(parameters)
+        for block in blocks:
+            if results[block.request_index][block.candidate_index] is None:
+                results[block.request_index][block.candidate_index] = (
+                    block.exited / block.watched if block.watched else 1.0
+                )
+        return [list(values) for values in results]

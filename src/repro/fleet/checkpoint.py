@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Callable
 
 from repro.core.controller import LingXiController
 from repro.core.persistence import controller_state_payload, restore_controller_state
@@ -22,6 +23,21 @@ from repro.fleet.orchestrator import FleetResult
 
 #: Schema version of the checkpoint file.
 CHECKPOINT_VERSION = 1
+
+#: Explicit schema migrations: ``old_version -> callable(raw) -> raw'`` where
+#: the returned document carries a strictly newer ``version``.  Loading walks
+#: the chain until it reaches :data:`CHECKPOINT_VERSION`; a version with no
+#: registered migration is **rejected**, never restored blindly.
+_MIGRATIONS: dict[int, Callable[[dict], dict]] = {}
+
+
+def register_checkpoint_migration(
+    version: int, migrate: Callable[[dict], dict]
+) -> None:
+    """Register an explicit migration for checkpoints written at ``version``."""
+    if version == CHECKPOINT_VERSION:
+        raise ValueError("cannot register a migration for the current version")
+    _MIGRATIONS[version] = migrate
 
 
 @dataclass
@@ -63,11 +79,29 @@ def save_checkpoint_states(
 
 
 def load_fleet_checkpoint(path: str | Path) -> FleetCheckpoint:
-    """Load a checkpoint written by :func:`save_fleet_checkpoint`."""
+    """Load a checkpoint written by :func:`save_fleet_checkpoint`.
+
+    Checkpoints whose ``version`` differs from :data:`CHECKPOINT_VERSION`
+    are either migrated through the explicitly registered chain
+    (:func:`register_checkpoint_migration`) or rejected with a
+    ``ValueError`` — a stale schema is never restored as-is.
+    """
     raw = json.loads(Path(path).read_text())
     version = int(raw.get("version", 0))
+    seen = {version}
+    while version != CHECKPOINT_VERSION and version in _MIGRATIONS:
+        raw = _MIGRATIONS[version](raw)
+        version = int(raw.get("version", 0))
+        if version in seen:
+            raise ValueError(
+                f"checkpoint migration from version {version} does not progress"
+            )
+        seen.add(version)
     if version != CHECKPOINT_VERSION:
-        raise ValueError(f"unsupported checkpoint version {version}")
+        raise ValueError(
+            f"unsupported checkpoint version {version} "
+            f"(expected {CHECKPOINT_VERSION}, no registered migration)"
+        )
     return FleetCheckpoint(
         run_id=str(raw.get("run_id", "")),
         day=int(raw.get("day", 0)),

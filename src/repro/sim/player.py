@@ -118,10 +118,16 @@ class PlayerEnvironment:
             base_cap=self.base_buffer_cap,
         )
 
-    def step(self, level: int, bandwidth_kbps: float) -> SegmentResult:
+    def step(
+        self, level: int, bandwidth_kbps: float, buffer_cap: float | None = None
+    ) -> SegmentResult:
         """Download the next segment at ``level`` over ``bandwidth_kbps``.
 
         Returns the :class:`SegmentResult` and advances the player state.
+        ``buffer_cap`` lets a caller that already read :attr:`buffer_cap`
+        this step (to build an ABR context) pass it back in instead of
+        recomputing the bandwidth statistics — the value is identical
+        because the model only changes at the end of this method.
         """
         if bandwidth_kbps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -141,7 +147,8 @@ class PlayerEnvironment:
             self.stall_count += 1
 
         drained = max(self.buffer - download_time, 0.0)
-        buffer_cap = self.buffer_cap
+        if buffer_cap is None:
+            buffer_cap = self.buffer_cap
         unclipped = drained + self.video.segment_duration
         wait_time = max(unclipped - buffer_cap, 0.0) + self.rtt
         buffer_after = max(unclipped - max(unclipped - buffer_cap, 0.0), 0.0)

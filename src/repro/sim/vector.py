@@ -29,10 +29,18 @@ segment** (exact `SegmentRecord` equality, enforced by
   the *scalar* profile method on the masked stalled rows, not by a parallel
   reimplementation.
 
-Sessions whose ABR or exit model has no vector kernel (BOLA, RobustMPC,
-Pensieve, LingXi-wrapped algorithms, custom exit models) transparently fall
-back to the scalar engine behind the same ``run_batch`` interface, in spec
-order — so stateful per-user algorithms still see their sessions sequentially.
+ABR decisions come from the policies' ``vector_kernel`` classmethods
+(throughput rule, HYB, BBA, BOLA, and RobustMPC with per-row prediction-error
+state), and LingXi-wrapped sessions run their whole per-user control loop
+through a :class:`~repro.core.vector_host.VectorControllerHost` — trigger
+checks over struct-of-arrays controller state, Monte-Carlo optimization
+batched across every concurrently-optimizing session.  Sessions whose ABR or
+exit model still has no vector kernel (Pensieve, custom classes) fall back
+to the scalar engine behind the same ``run_batch`` interface, in spec order;
+the backend counts them (``last_fallback_sessions`` /
+``total_fallback_sessions``) so fleets can assert they stayed on the fast
+path.  In networked mode the same split is cohort-level: lockstep cohorts
+and event-ordered reference sessions share one ``allocate_step`` per slot.
 """
 
 from __future__ import annotations
@@ -51,7 +59,7 @@ from repro.sim.backend import (
     session_rng,
 )
 from repro.sim.bandwidth import BandwidthModel
-from repro.sim.networked import resolve_link_indices, run_networked_scalar
+from repro.sim.networked import _LiveSession, resolve_link_indices, run_networked_scalar
 from repro.sim.player import dynamic_buffer_cap
 from repro.sim.session import PlaybackTrace, SegmentRecord, SessionConfig
 
@@ -157,6 +165,7 @@ class _NetGroup:
     abr_kernel: object
     exit_kernel: object | None
     uniforms: np.ndarray | None
+    host: object | None = None
     # mutable lockstep state
     buffer: np.ndarray = field(init=False)
     last_level: np.ndarray = field(init=False)
@@ -190,9 +199,29 @@ class _NetGroup:
 
 
 class VectorBackend(SimBackend):
-    """Lockstep struct-of-arrays execution of a batch of session specs."""
+    """Lockstep struct-of-arrays execution of a batch of session specs.
+
+    Fallback accounting
+    -------------------
+    Every ``run_batch`` call reports how many of its sessions were routed to
+    the scalar engine instead of the lockstep fast path:
+    ``last_fallback_sessions`` / ``last_batch_sessions`` describe the most
+    recent call, ``total_fallback_sessions`` accumulates across the
+    backend's lifetime.  The test sweeps assert these stay at zero for every
+    ABR family that ships a vector kernel.
+    """
 
     name = "vector"
+
+    def __init__(self) -> None:
+        self.last_fallback_sessions = 0
+        self.last_batch_sessions = 0
+        self.total_fallback_sessions = 0
+
+    def _record_fallback(self, fallback_sessions: int, batch_sessions: int) -> None:
+        self.last_fallback_sessions = fallback_sessions
+        self.last_batch_sessions = batch_sessions
+        self.total_fallback_sessions += fallback_sessions
 
     def run_batch(
         self,
@@ -211,23 +240,51 @@ class VectorBackend(SimBackend):
             for spec, seed in zip(specs, resolve_session_seeds(specs))
         ]
         if network is not None:
-            if specs and all(self._vectorizable(spec) for spec in specs):
-                return self._run_networked(specs, config, network, link_usage)
             # Allocation couples every session at every slot, so a networked
             # batch cannot split into per-session fallbacks the way an
-            # independent batch can: any spec without vector kernels sends
-            # the whole batch to the event-ordered scalar reference engine.
-            return run_networked_scalar(
-                specs, network, config, link_usage=link_usage
+            # independent batch can — but it *can* split into cohorts:
+            # vectorizable cohorts stay lockstep, truly scalar cohorts run as
+            # event-ordered reference sessions, and both sides meet at the
+            # same shared per-slot ``allocate_step`` call.
+            shared_stateful = self._shared_stateful_abr_ids(specs)
+            scalar_indices = [
+                index
+                for index, spec in enumerate(specs)
+                if not self._vectorizable(spec) or id(spec.abr) in shared_stateful
+            ]
+            self._record_fallback(len(scalar_indices), len(specs))
+            if len(scalar_indices) == len(specs):
+                return run_networked_scalar(
+                    specs, network, config, link_usage=link_usage
+                )
+            return self._run_networked(
+                specs, config, network, link_usage, scalar_indices
             )
         results: list[PlaybackTrace | None] = [None] * len(specs)
 
         groups: dict[tuple, list[int]] = {}
         fallback: list[int] = []
+        # Controller-wrapped specs sharing one ABR instance (one user, several
+        # sessions) carry controller state *across* sessions, which the scalar
+        # loop plays out sequentially.  Splitting them into waves by
+        # occurrence index — every instance's first session in wave 0, its
+        # second in wave 1, ... — and running the waves in order preserves
+        # that sequencing exactly: un-networked sessions are independent
+        # across users, so a user's n-th session only needs their first n-1
+        # sessions (earlier waves) to have completed.
+        occurrence: dict[int, int] = {}
         for index, spec in enumerate(specs):
             if self._vectorizable(spec):
+                if self._controller_wrapped(spec.abr):
+                    wave = occurrence.get(id(spec.abr), 0)
+                    occurrence[id(spec.abr)] = wave + 1
+                    abr_key: tuple = (type(spec.abr), type(spec.abr.inner))
+                else:
+                    wave = 0
+                    abr_key = (type(spec.abr), None)
                 key = (
-                    type(spec.abr),
+                    wave,
+                    abr_key,
                     None if spec.exit_model is None else type(spec.exit_model),
                     spec.video.ladder.bitrates_kbps,
                     spec.video.segment_duration,
@@ -235,8 +292,9 @@ class VectorBackend(SimBackend):
                 groups.setdefault(key, []).append(index)
             else:
                 fallback.append(index)
+        self._record_fallback(len(fallback), len(specs))
 
-        for indices in groups.values():
+        for key, indices in sorted(groups.items(), key=lambda item: item[0][0]):
             traces = self._run_group([specs[i] for i in indices], config)
             for index, trace in zip(indices, traces):
                 results[index] = trace
@@ -250,6 +308,36 @@ class VectorBackend(SimBackend):
         return results
 
     @staticmethod
+    def _shared_stateful_abr_ids(specs) -> set[int]:
+        """Ids of stateful ABR instances shared by several specs of a batch.
+
+        In the event-ordered reference engine concurrent sessions sharing one
+        *stateful* ABR instance deterministically share its internal state
+        ("one user, one ABR brain"); lockstep cohorts keep per-row state and
+        cannot reproduce that interleaving, so those specs must route to the
+        scalar side of a networked batch.  A class is stateful when it
+        overrides :meth:`~repro.abr.base.ABRAlgorithm.reset` (detected by the
+        resolved method's qualname to avoid importing :mod:`repro.abr` from
+        this lower layer; duck-typed policies outside the base hierarchy are
+        conservatively treated as stateful).
+        """
+        counts: dict[int, int] = {}
+        for spec in specs:
+            reset = getattr(type(spec.abr), "reset", None)
+            qualname = getattr(reset, "__qualname__", "")
+            if qualname != "ABRAlgorithm.reset":
+                counts[id(spec.abr)] = counts.get(id(spec.abr), 0) + 1
+        return {abr_id for abr_id, count in counts.items() if count > 1}
+
+    @staticmethod
+    def _controller_wrapped(abr) -> bool:
+        """True for LingXi-style wrappers (``.inner`` + ``.controller``)."""
+        return (
+            getattr(abr, "controller", None) is not None
+            and getattr(abr, "inner", None) is not None
+        )
+
+    @staticmethod
     def _vectorizable(spec: SessionSpec) -> bool:
         """True when both the ABR and the exit model ship vector kernels.
 
@@ -257,17 +345,59 @@ class VectorBackend(SimBackend):
         lookup, not inheritance): a subclass that overrides ``select_level``
         without providing its own kernel must fall back to the scalar engine
         rather than silently run the parent's vectorized decision rule.
-        ABRs with an ``observe`` feedback hook (LingXi wrappers) are stateful
-        per segment and always fall back.
+
+        LingXi-style wrappers (``.inner`` + ``.controller`` + ``observe``
+        hook) are vectorizable when their *inner* algorithm ships a kernel:
+        the per-segment feedback loop then runs through a
+        :class:`~repro.core.vector_host.VectorControllerHost` instead of the
+        scalar engine.  Other ABRs with an ``observe`` hook stay on the
+        scalar path.
         """
-        if "vector_kernel" not in type(spec.abr).__dict__:
-            return False
-        if getattr(spec.abr, "observe", None) is not None:
-            return False
+        abr = spec.abr
+        if VectorBackend._controller_wrapped(abr):
+            inner = abr.inner
+            if "vector_kernel" not in type(inner).__dict__:
+                return False
+            if getattr(inner, "observe", None) is not None:
+                return False
+        else:
+            if "vector_kernel" not in type(abr).__dict__:
+                return False
+            if getattr(abr, "observe", None) is not None:
+                return False
         if spec.exit_model is not None:
             if "vector_exit_kernel" not in type(spec.exit_model).__dict__:
                 return False
         return True
+
+    @classmethod
+    def _build_abr_kernel(cls, specs, ladder):
+        """ABR kernel + optional controller host for one homogeneous group.
+
+        Plain policies supply their own ``vector_kernel``; controller-wrapped
+        policies (LingXi) build the kernel over their *inner* algorithms and
+        attach a :class:`~repro.core.vector_host.VectorControllerHost` that
+        replays the per-segment feedback loop after every lockstep step.
+        Either way every spec's ABR is reset exactly like the scalar engine
+        would at session start.
+        """
+        first = specs[0].abr
+        if cls._controller_wrapped(first):
+            from repro.core.vector_host import VectorControllerHost
+
+            policies = [spec.abr.inner for spec in specs]
+            host = VectorControllerHost(
+                [spec.abr for spec in specs],
+                ladder=ladder,
+                segment_duration=float(specs[0].video.segment_duration),
+            )
+        else:
+            policies = [spec.abr for spec in specs]
+            host = None
+        kernel = type(policies[0]).vector_kernel(policies)
+        for spec in specs:
+            spec.abr.reset()
+        return kernel, host
 
     def _run_group(
         self, specs: list[SessionSpec], config: SessionConfig
@@ -312,9 +442,7 @@ class VectorBackend(SimBackend):
                 video_rows[id(spec.video)] = block
             sizes[i] = block
 
-        abr_kernel = type(specs[0].abr).vector_kernel([spec.abr for spec in specs])
-        for spec in specs:
-            spec.abr.reset()
+        abr_kernel, host = self._build_abr_kernel(specs, first_video.ladder)
 
         has_exit = specs[0].exit_model is not None
         exit_models = [spec.exit_model for spec in specs]
@@ -445,12 +573,28 @@ class VectorBackend(SimBackend):
             cumulative_rec[:, k] = cumulative_stall
             stall_count_rec[:, k] = stall_count
 
+            if host is not None:
+                # Same point in the segment lifecycle as the scalar engine's
+                # ``observe`` hook: after the exit draw, before the next
+                # segment's decision — parameter adjustments land on k+1.
+                host.observe_step(
+                    active=active,
+                    levels=levels,
+                    stall=stall,
+                    throughput=bandwidth_k,
+                    buffer_after=buffer_after,
+                    exits=exits,
+                    bitrates=bitrates,
+                )
+
             steps_taken[active] = k + 1
             exited_early |= exits
             alive &= ~exits
             buffer = np.where(active, buffer_after, buffer)
             last_level = np.where(active, levels, last_level)
 
+        if host is not None:
+            host.finalize()
         return [
             self._assemble_trace(
                 spec,
@@ -474,7 +618,7 @@ class VectorBackend(SimBackend):
         ]
 
     def _run_networked(
-        self, specs, config: SessionConfig, network, link_usage
+        self, specs, config: SessionConfig, network, link_usage, scalar_indices=()
     ) -> list[PlaybackTrace]:
         """Coupled lockstep execution: cohorts advance, links fair-share.
 
@@ -487,12 +631,47 @@ class VectorBackend(SimBackend):
         observed throughput — Equation 3, the ABR kernels' windows and the
         exit kernels all see congestion, which is what closes the feedback
         loop between load and quality.
+
+        ``scalar_indices`` names the batch positions whose specs cannot run
+        lockstep (no vector kernels, or a stateful ABR instance shared across
+        concurrent sessions).  Those run as event-ordered
+        :class:`~repro.sim.networked._LiveSession` reference sessions *inside
+        the same slot loop*: their demands join the cohort demands in the one
+        ``allocate_step`` call per slot, so coupling between the fast and
+        slow cohorts still flows solely through the shared allocator and the
+        combined result is identical to the all-scalar reference engine.
         """
         num_sessions = len(specs)
         link_index = resolve_link_indices(network, specs)
         weights = np.asarray([spec.weight for spec in specs], dtype=float)
-        groups = self._build_net_groups(specs, config)
-        horizon = max(group.start + group.max_steps for group in groups)
+        scalar_set = set(scalar_indices)
+        vector_indices = [i for i in range(num_sessions) if i not in scalar_set]
+        groups = self._build_net_groups(specs, config, vector_indices)
+
+        # Scalar cohort: reference sessions, reset up front exactly like
+        # run_networked_scalar (shared instances keep "one brain" semantics).
+        scalar_order = sorted(scalar_set)
+        live: dict[int, _LiveSession] = {
+            index: _LiveSession(specs[index], specs[index].seed, config)
+            for index in scalar_order
+        }
+        for policy in {id(specs[i].abr): specs[i].abr for i in scalar_order}.values():
+            policy.reset()
+        for model in {
+            id(specs[i].exit_model): specs[i].exit_model
+            for i in scalar_order
+            if specs[i].exit_model is not None
+        }.values():
+            model.reset()
+        live_alive = {index: True for index in scalar_order}
+        live_ends = {
+            index: live[index].start + live[index].limit for index in scalar_order
+        }
+
+        horizon = max(
+            [group.start + group.max_steps for group in groups]
+            + [live_ends[index] for index in scalar_order],
+        )
         demand = np.zeros(num_sessions)
         active_global = np.zeros(num_sessions, dtype=bool)
 
@@ -519,6 +698,15 @@ class VectorBackend(SimBackend):
                         active, group.bandwidth[:, j], 0.0
                     )
                     active_global[group.indices] = active
+            live_stepping: list[int] = []
+            for index in scalar_order:
+                if not live_alive[index] or k >= live_ends[index]:
+                    continue
+                runnable_any = True
+                if live[index].start <= k:
+                    live_stepping.append(index)
+                    demand[index] = live[index].demand_at(k)
+                    active_global[index] = True
             if not runnable_any:
                 break
             allocations = allocate_step(
@@ -534,8 +722,16 @@ class VectorBackend(SimBackend):
                 self._step_net_group(
                     group, j, active, allocations[group.indices], config
                 )
+            for index in live_stepping:
+                if not live[index].step(k, float(allocations[index])):
+                    live_alive[index] = False
 
         results: list[PlaybackTrace | None] = [None] * num_sessions
+        for index in scalar_order:
+            results[index] = live[index].playback
+        for group in groups:
+            if group.host is not None:
+                group.host.finalize()
         for group in groups:
             for i, spec in enumerate(group.specs):
                 results[int(group.indices[i])] = self._assemble_trace(
@@ -558,12 +754,18 @@ class VectorBackend(SimBackend):
                 )
         return results
 
-    def _build_net_groups(self, specs, config: SessionConfig) -> list[_NetGroup]:
+    def _build_net_groups(
+        self, specs, config: SessionConfig, vector_indices=None
+    ) -> list[_NetGroup]:
         """Partition a networked batch into internally-lockstep cohorts."""
+        if vector_indices is None:
+            vector_indices = range(len(specs))
         grouped: dict[tuple, list[int]] = {}
-        for index, spec in enumerate(specs):
+        for index in vector_indices:
+            spec = specs[index]
             key = (
                 type(spec.abr),
+                type(spec.abr.inner) if self._controller_wrapped(spec.abr) else None,
                 None if spec.exit_model is None else type(spec.exit_model),
                 spec.video.ladder.bitrates_kbps,
                 spec.video.segment_duration,
@@ -609,11 +811,7 @@ class VectorBackend(SimBackend):
                     video_rows[id(spec.video)] = block
                 sizes[i] = block
 
-            abr_kernel = type(members[0].abr).vector_kernel(
-                [spec.abr for spec in members]
-            )
-            for spec in members:
-                spec.abr.reset()
+            abr_kernel, host = self._build_abr_kernel(members, first_video.ladder)
             if members[0].exit_model is not None:
                 models = [spec.exit_model for spec in members]
                 exit_kernel = type(models[0]).vector_exit_kernel(models)
@@ -639,6 +837,7 @@ class VectorBackend(SimBackend):
                 abr_kernel=abr_kernel,
                 exit_kernel=exit_kernel,
                 uniforms=uniforms,
+                host=host,
             )
             group.buffer[:] = float(config.initial_buffer)
             groups.append(group)
@@ -755,6 +954,17 @@ class VectorBackend(SimBackend):
         group.cumulative_rec[:, j] = group.cumulative_stall
         group.stall_count_rec[:, j] = group.stall_count
         group.observed[:, j] = alloc
+
+        if group.host is not None:
+            group.host.observe_step(
+                active=active,
+                levels=levels,
+                stall=stall,
+                throughput=alloc,
+                buffer_after=buffer_after,
+                exits=exits,
+                bitrates=group.bitrates,
+            )
 
         group.steps_taken[active] = j + 1
         group.exited_early |= exits

@@ -165,3 +165,60 @@ class TestOnlineBayesianOptimizer:
             OnlineBayesianOptimizer(np.asarray([[0.0, 1.0]]), memory=0)
         with pytest.raises(ValueError):
             OnlineBayesianOptimizer(np.asarray([[0.0, 1.0]]), decay=0.0)
+
+    def test_half_specified_incumbent_raises(self):
+        """An incumbent without its value (or vice versa) must not be dropped."""
+        obo = OnlineBayesianOptimizer(np.asarray([[0.0, 1.0]]), seed=0)
+        with pytest.raises(ValueError, match="incumbent"):
+            obo.start_round(incumbent=np.asarray([0.3]))
+        with pytest.raises(ValueError, match="incumbent"):
+            obo.start_round(incumbent_value=0.25)
+        # a fully specified incumbent lands in both the history and the round
+        obo.start_round(incumbent=np.asarray([0.3]), incumbent_value=0.25)
+        assert obo.history[-1].x == (0.3,) and obo.history[-1].value == 0.25
+        assert obo._active.trials[-1].x == (0.3,)
+
+    def test_warm_start_contents_and_decay_weights_across_activations(self):
+        """Warm start = decay-gated recent history, newest weighted strongest."""
+        obo = OnlineBayesianOptimizer(
+            np.asarray([[0.0, 1.0]]), memory=12, decay=0.8, seed=0
+        )
+        obo.start_round()
+        for i in range(6):
+            obo.update(np.asarray([0.1 * i]), float(i))
+        obo.start_round(incumbent=np.asarray([0.9]), incumbent_value=-1.0)
+        active = obo._active
+        # decay 0.8: weights 1, .8, .64, .512, .4096, .328, .262 — the 0.1
+        # floor keeps all 7 retained trials (ages 0..6)
+        assert len(active.trials) == 7
+        # trials enter newest-first: the incumbent leads with full weight
+        assert active.trials[0].x == (0.9,) and active.weights[0] == 1.0
+        np.testing.assert_allclose(
+            active.weights, [0.8**age for age in range(7)]
+        )
+        # a long history gates out everything older than the 0.1 floor
+        for i in range(20):
+            obo.update(np.asarray([0.5]), float(i))
+        obo.start_round()
+        ages_kept = sum(1 for age in range(12) if 0.8**age >= 0.1)
+        assert len(obo._active.trials) == ages_kept
+
+    def test_warm_start_weights_soften_old_observations(self):
+        """A decayed trial pulls the surrogate less than a fresh one."""
+        from repro.bayesopt.gp import GaussianProcess
+
+        x = np.asarray([[0.2], [0.8]])
+        y = np.asarray([0.0, 1.0])
+        fresh = GaussianProcess(noise=1e-2).fit(x, y)
+        soft = GaussianProcess(noise=1e-2).fit(x, y, noise_scale=np.asarray([1.0, 10.0]))
+        query = np.asarray([[0.8]])
+        fresh_mean, fresh_std = fresh.predict(query)
+        soft_mean, soft_std = soft.predict(query)
+        # the softened observation is trusted less: posterior pulled less far
+        # towards it and left with more uncertainty
+        assert abs(soft_mean[0] - 1.0) > abs(fresh_mean[0] - 1.0)
+        assert soft_std[0] > fresh_std[0]
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(x, y, noise_scale=np.asarray([1.0]))
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(x, y, noise_scale=np.asarray([1.0, 0.0]))

@@ -415,6 +415,71 @@ class TestCheckpoint:
         assert total(day0) > 0
         assert total(day1) > total(day0)
 
+    def test_bumped_version_checkpoint_is_rejected(self, tmp_path):
+        """A checkpoint from a different schema version must never restore blindly."""
+        import json
+
+        from repro.fleet.checkpoint import CHECKPOINT_VERSION, save_checkpoint_states
+
+        path = save_checkpoint_states({"u0": {"user_state": {}}}, tmp_path / "c.json")
+        raw = json.loads(path.read_text())
+        raw["version"] = CHECKPOINT_VERSION + 1
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_fleet_checkpoint(path)
+        # missing version field counts as version 0 and is rejected too
+        del raw["version"]
+        path.write_text(json.dumps(raw))
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_fleet_checkpoint(path)
+
+    def test_registered_migration_upgrades_old_checkpoint(self, tmp_path):
+        import json
+
+        from repro.fleet.checkpoint import (
+            _MIGRATIONS,
+            CHECKPOINT_VERSION,
+            register_checkpoint_migration,
+            save_checkpoint_states,
+        )
+
+        path = save_checkpoint_states(
+            {"u0": {"user_state": {}}}, tmp_path / "c.json", run_id="legacy", day=2
+        )
+        raw = json.loads(path.read_text())
+        raw["version"] = 0
+        path.write_text(json.dumps(raw))
+
+        def upgrade(document: dict) -> dict:
+            document = dict(document)
+            document["version"] = CHECKPOINT_VERSION
+            return document
+
+        with pytest.raises(ValueError):
+            register_checkpoint_migration(CHECKPOINT_VERSION, upgrade)
+        register_checkpoint_migration(0, upgrade)
+        try:
+            checkpoint = load_fleet_checkpoint(path)
+            assert checkpoint.version == CHECKPOINT_VERSION
+            assert checkpoint.run_id == "legacy" and checkpoint.day == 2
+            assert checkpoint.num_users == 1
+        finally:
+            _MIGRATIONS.pop(0, None)
+
+    def test_stuck_migration_chain_is_rejected(self, tmp_path):
+        import json
+
+        from repro.fleet.checkpoint import _MIGRATIONS, register_checkpoint_migration
+
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps({"version": 0, "states": {}}))
+        register_checkpoint_migration(0, lambda document: dict(document))
+        try:
+            with pytest.raises(ValueError, match="does not progress"):
+                load_fleet_checkpoint(path)
+        finally:
+            _MIGRATIONS.pop(0, None)
+
 
 class TestPlaybackTraceCache:
     def test_aggregates_match_manual_computation(self, fleet_population, fleet_library):

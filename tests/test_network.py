@@ -18,6 +18,7 @@ import pytest
 from repro.abr.bba import BBA
 from repro.abr.bola import BOLA
 from repro.abr.hyb import HYB
+from repro.abr.robust_mpc import RobustMPC
 from repro.abr.throughput import ThroughputRule
 from repro.analytics.logs import LinkUtilizationLog
 from repro.net import (
@@ -44,6 +45,8 @@ _ABR_FACTORIES = {
     "throughput": ThroughputRule,
     "hyb": HYB,
     "bba": BBA,
+    "bola": BOLA,
+    "robust_mpc": RobustMPC,
 }
 
 
@@ -74,10 +77,12 @@ def _spec_batch(
         MarkovTraceGenerator() if bursty else StationaryTraceGenerator(1800.0, 500.0)
     )
     seeds = spawn_session_seeds(seed, num_sessions)
-    abr = _ABR_FACTORIES[abr_name]()
+    # One ABR instance per spec: concurrent networked sessions sharing a
+    # *stateful* instance (RobustMPC) deliberately route to the scalar cohort
+    # ("one brain" semantics), which is covered by its own test below.
     return [
         SessionSpec(
-            abr=abr,
+            abr=_ABR_FACTORIES[abr_name](),
             video=library[i % 3],
             trace=generator.generate(50, rng),
             exit_model=profile.exit_model(),
@@ -151,6 +156,78 @@ class TestMaxMinFair:
             max_min_fair(np.asarray([1.0, 2.0]), 10.0, np.asarray([1.0]))
         with pytest.raises(ValueError):
             max_min_fair(np.asarray([1.0]), 10.0, np.asarray([0.0]))
+
+    @staticmethod
+    def _assert_allocation_properties(demands, capacity, weights=None):
+        """The three invariants of a weighted max-min water-fill.
+
+        * conservation: allocations sum to ``min(capacity, total_demand)``
+          (within a few ulps of the capacity scale);
+        * feasibility: nobody receives more than they demanded;
+        * weight monotonicity: among capacity-limited sessions, a heavier
+          weight never receives less.
+        """
+        allocation = max_min_fair(demands, capacity, weights)
+        total = float(np.asarray(demands, dtype=float).sum())
+        expected = min(capacity, total)
+        tolerance = max(abs(expected), 1.0) * 64 * np.finfo(float).eps
+        assert abs(float(allocation.sum()) - expected) <= tolerance
+        assert np.all(allocation <= np.asarray(demands) + tolerance)
+        assert np.all(allocation >= -tolerance)
+        if weights is not None:
+            limited = allocation < np.asarray(demands) - tolerance
+            if np.count_nonzero(limited) > 1:
+                w = np.asarray(weights)[limited]
+                a = allocation[limited]
+                order = np.argsort(w, kind="stable")
+                assert np.all(np.diff(a[order]) >= -tolerance)
+        return allocation
+
+    def test_capacity_exactly_on_a_fill_knee(self):
+        """Capacities landing on a knee of the fill curve stay conservative."""
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            n = int(rng.integers(2, 24))
+            demands = rng.uniform(10.0, 4000.0, size=n)
+            weights = rng.uniform(0.25, 4.0, size=n)
+            ratio = demands / weights
+            order = np.argsort(ratio, kind="stable")
+            cum_demand = np.cumsum(demands[order])
+            cum_weight = np.cumsum(weights[order])
+            knee = int(rng.integers(0, n - 1))
+            capacity = float(
+                cum_demand[knee]
+                + ratio[order][knee] * (cum_weight[-1] - cum_weight[knee])
+            )
+            if capacity <= 0 or capacity >= float(demands.sum()):
+                continue
+            self._assert_allocation_properties(demands, capacity, weights)
+
+    def test_near_equal_demand_weight_ratios(self):
+        """Float knee ties (duplicate and 1-ulp-apart ratios) stay exact."""
+        base = 1234.5678
+        demands = np.full(10, base)
+        demands[::2] = np.nextafter(base, base + 1.0)
+        self._assert_allocation_properties(demands, float(demands.sum()) * 0.37)
+        # exact duplicates with weights in lockstep ratios
+        demands = np.asarray([100.0, 200.0, 100.0, 200.0, 50.0])
+        weights = np.asarray([1.0, 2.0, 1.0, 2.0, 0.5])
+        self._assert_allocation_properties(demands, 300.0, weights)
+
+    def test_randomized_allocation_properties(self):
+        rng = np.random.default_rng(11)
+        for _ in range(200):
+            n = int(rng.integers(1, 48))
+            demands = rng.uniform(0.0, 5000.0, size=n)
+            if float(demands.sum()) <= 0:
+                continue
+            weights = (
+                rng.uniform(0.1, 5.0, size=n) if rng.random() < 0.5 else None
+            )
+            capacity = float(demands.sum()) * float(rng.uniform(0.05, 1.2))
+            if capacity <= 0:
+                continue
+            self._assert_allocation_properties(demands, capacity, weights)
 
     def test_allocate_step_records_idle_links_and_masks_inactive_rows(self):
         topology = _toy_topology()
@@ -245,18 +322,22 @@ class TestNetworkedEquivalenceGate:
     @pytest.mark.parametrize("abr_name", sorted(_ABR_FACTORIES))
     @pytest.mark.parametrize("seed", [0, 13])
     def test_vector_reproduces_scalar_reference_exactly(self, abr_name, seed):
+        from repro.sim import VectorBackend
+
         topology = _toy_topology()
         specs = _spec_batch(abr_name, seed)
         scalar_usage, vector_usage = [], []
         scalar_traces = get_backend("scalar").run_batch(
             specs, SessionConfig(), network=topology, link_usage=scalar_usage
         )
-        vector_traces = get_backend("vector").run_batch(
+        backend = VectorBackend()
+        vector_traces = backend.run_batch(
             specs, SessionConfig(), network=topology, link_usage=vector_usage
         )
         assert_traces_equal(scalar_traces, vector_traces)
         assert scalar_usage == vector_usage
         assert scalar_usage  # coupling actually ran through the allocator
+        assert backend.last_fallback_sessions == 0
 
     def test_bursty_traces_and_shaped_topology(self):
         topology = NetworkTopology(
@@ -292,7 +373,19 @@ class TestNetworkedEquivalenceGate:
             get_backend("vector").run_batch(specs, config, network=topology),
         )
 
-    def test_non_vectorizable_spec_sends_whole_batch_to_reference_engine(self):
+    def test_cohort_routing_mixes_lockstep_and_reference_sessions(self):
+        """Only truly scalar specs leave the fast path of a networked batch.
+
+        A batch mixing kernel-equipped ABRs with a kernel-less subclass must
+        stay lockstep for the former, run the latter as event-ordered
+        reference sessions, and still reproduce the all-scalar reference
+        engine exactly — traces *and* the per-slot link-usage stream —
+        because both cohorts meet at the same shared allocator call.
+        """
+        from repro.sim import VectorBackend
+
+        from test_vector_backend import KernellessABR
+
         topology = _toy_topology()
         video = Video(num_segments=18, seed=5)
         trace = StationaryTraceGenerator(1500.0, 400.0).generate(
@@ -300,25 +393,28 @@ class TestNetworkedEquivalenceGate:
         )
         specs = [
             SessionSpec(
-                abr=BOLA() if i % 3 == 0 else HYB(),
+                abr=KernellessABR() if i % 3 == 0 else (BOLA() if i % 3 == 1 else HYB()),
                 video=video,
                 trace=trace,
                 exit_model=BaselineExitModel(),
                 seed=i,
                 user_id=f"u{i}",
+                start_step=(i % 2) * 4,
             )
             for i in range(9)
         ]
         scalar_usage, vector_usage = [], []
+        backend = VectorBackend()
         assert_traces_equal(
             get_backend("scalar").run_batch(
                 specs, network=topology, link_usage=scalar_usage
             ),
-            get_backend("vector").run_batch(
-                specs, network=topology, link_usage=vector_usage
-            ),
+            backend.run_batch(specs, network=topology, link_usage=vector_usage),
         )
         assert scalar_usage == vector_usage
+        # exactly the kernel-less third fell back, not the whole batch
+        assert backend.last_fallback_sessions == 3
+        assert backend.last_batch_sessions == 9
 
     def test_stateful_abr_instances_survive_interleaving(self):
         """Shared stateful ABRs are reset once up front, not mid-flight.
@@ -368,6 +464,71 @@ class TestNetworkedEquivalenceGate:
             ]
         )
         assert_traces_equal(solo, first[-1:])
+
+    @pytest.mark.parametrize("mode", ["fixed", "bayesian"])
+    def test_lingxi_cohorts_match_reference_with_zero_fallbacks(self, mode):
+        """Networked LingXi sessions run lockstep through the controller host."""
+        from repro.core.exit_predictor import ExitRatePredictor
+        from repro.net import CrossTraffic
+        from repro.sim import VectorBackend
+        from repro.sim.video import VideoLibrary
+
+        from test_vector_backend import make_lingxi_abr
+
+        predictor = ExitRatePredictor(channels=8, hidden=16, seed=0)
+        topology = NetworkTopology(
+            name="tight",
+            links=(
+                EdgeLink(
+                    "hot",
+                    3500.0,
+                    cross_traffic=CrossTraffic(200.0, 800.0, period=10),
+                ),
+            ),
+        )
+
+        def build_specs():
+            library = VideoLibrary(
+                num_videos=2, mean_duration=40.0, std_duration=6.0, seed=2
+            )
+            generator = MarkovTraceGenerator()
+            rng = np.random.default_rng(7)
+            seeds = spawn_session_seeds(21, 6)
+            return [
+                SessionSpec(
+                    abr=make_lingxi_abr(predictor, 200 + i, mode),
+                    video=library[i % 2],
+                    trace=generator.generate(40, rng),
+                    exit_model=None,
+                    seed=seeds[i],
+                    user_id=f"u{i}",
+                    link="hot",
+                    start_step=(i % 2) * 3,
+                )
+                for i in range(6)
+            ]
+
+        scalar_specs, vector_specs = build_specs(), build_specs()
+        scalar_usage, vector_usage = [], []
+        scalar_traces = get_backend("scalar").run_batch(
+            scalar_specs, network=topology, link_usage=scalar_usage
+        )
+        backend = VectorBackend()
+        vector_traces = backend.run_batch(
+            vector_specs, network=topology, link_usage=vector_usage
+        )
+        assert_traces_equal(scalar_traces, vector_traces)
+        assert scalar_usage == vector_usage
+        assert backend.last_fallback_sessions == 0
+        for scalar_spec, vector_spec in zip(scalar_specs, vector_specs):
+            assert (
+                scalar_spec.abr.controller.history
+                == vector_spec.abr.controller.history
+            )
+        # congestion actually triggered per-user optimization
+        assert sum(
+            len(spec.abr.controller.history) for spec in scalar_specs
+        ) > 0
 
     def test_uncongested_networked_equals_unnetworked(self):
         """With capacity to spare, the allocator must be a perfect no-op."""

@@ -20,9 +20,12 @@ from repro.abr.hyb import HYB
 from repro.abr.robust_mpc import RobustMPC
 from repro.abr.throughput import ThroughputRule
 from repro.analytics.logs import LogCollection, SessionLog
+from repro.core.controller import ControllerConfig, LingXiABR, LingXiController
 from repro.core.exit_predictor import ExitRatePredictor
 from repro.core.monte_carlo import MonteCarloConfig, MonteCarloEvaluator, virtual_video
+from repro.core.parameter_space import ParameterSpace
 from repro.core.state import PlayerSnapshot, UserState
+from repro.core.triggers import TriggerPolicy
 from repro.fleet import (
     BatchedMonteCarloEvaluator,
     FleetConfig,
@@ -64,6 +67,8 @@ _ABR_FACTORIES = {
     "throughput": ThroughputRule,
     "hyb": HYB,
     "bba": BBA,
+    "bola": BOLA,
+    "robust_mpc": RobustMPC,
 }
 
 
@@ -113,8 +118,13 @@ class TestEquivalenceGate:
     def test_vector_reproduces_scalar_exactly(self, abr_name, trace_family, seed):
         specs = _spec_batch(abr_name, trace_family, seed)
         scalar_traces = get_backend("scalar").run_batch(specs, SessionConfig())
-        vector_traces = get_backend("vector").run_batch(specs, SessionConfig())
+        backend = VectorBackend()
+        vector_traces = backend.run_batch(specs, SessionConfig())
         assert_traces_equal(scalar_traces, vector_traces)
+        # every kernel-equipped ABR family stays on the fast path end to end
+        assert backend.last_fallback_sessions == 0
+        assert backend.total_fallback_sessions == 0
+        assert backend.last_batch_sessions == len(specs)
 
     @pytest.mark.parametrize("abr_name", sorted(_ABR_FACTORIES))
     def test_aggregates_identical_after_telemetry_replay(self, abr_name, tmp_path):
@@ -218,8 +228,9 @@ class TestEquivalenceGate:
             HYB(parameters=QoEParameters(beta=0.5)),
             BBA(reservoir_s=2.0),
             ThroughputRule(gradual=False),
-            BOLA(),  # no vector kernel -> scalar fallback inside the batch
-            RobustMPC(),  # ditto
+            BOLA(),
+            RobustMPC(),
+            KernellessABR(),  # no vector kernel -> scalar fallback inside the batch
         ]
         specs = [
             SessionSpec(
@@ -232,10 +243,13 @@ class TestEquivalenceGate:
             )
             for i, profile in enumerate(population)
         ]
-        assert_traces_equal(
-            get_backend("scalar").run_batch(specs),
-            get_backend("vector").run_batch(specs),
+        backend = VectorBackend()
+        vector_traces = backend.run_batch(specs)
+        assert_traces_equal(get_backend("scalar").run_batch(specs), vector_traces)
+        expected_fallbacks = sum(
+            1 for spec in specs if isinstance(spec.abr, KernellessABR)
         )
+        assert backend.last_fallback_sessions == expected_fallbacks > 0
 
     def test_subclass_without_own_kernel_falls_back_to_scalar(self):
         class StubbornHYB(HYB):
@@ -266,6 +280,150 @@ class TestEquivalenceGate:
         assert all(
             record.level == 0 for trace_ in vector_traces for record in trace_.records
         )
+
+
+class KernellessABR(HYB):
+    """Overrides the decision rule without providing a vector kernel.
+
+    Shared by the fallback-routing tests here and in ``test_network.py``:
+    per the backend's convention, a subclass without its own
+    ``vector_kernel`` must leave the fast path.
+    """
+
+    def select_level(self, context):
+        return min(1, context.ladder.num_levels - 1)
+
+
+def make_lingxi_abr(predictor, seed: int, mode: str) -> LingXiABR:
+    """LingXi(HYB) with the batched lockstep evaluator (the fleet shape)."""
+    controller = LingXiController(
+        parameter_space=ParameterSpace.for_hyb(),
+        predictor=predictor,
+        monte_carlo=MonteCarloConfig(num_samples=2, max_sample_duration_s=20.0),
+        trigger=TriggerPolicy(stall_count_threshold=1),
+        config=ControllerConfig(mode=mode, max_sample_times=2, seed=seed),
+    )
+    controller.evaluator = BatchedMonteCarloEvaluator(
+        predictor, config=controller.evaluator.config, pruning=controller.pruning
+    )
+    return LingXiABR(HYB(), controller)
+
+
+class TestLingXiVectorPath:
+    """Optimization-enabled sessions run lockstep through the controller host.
+
+    The gate matches the plain-ABR one — segment-for-segment trace equality
+    with the scalar backend and zero scalar fallbacks — plus a stronger
+    condition: the per-user controllers must finish with *identical*
+    activation histories and deployed parameters, because the batched
+    cross-session Monte-Carlo evaluations must reproduce each controller's
+    own evaluation results exactly.
+    """
+
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        return ExitRatePredictor(channels=8, hidden=16, seed=0)
+
+    def _specs(self, predictor, mode, sessions_per_user=1):
+        rng = np.random.default_rng(3)
+        population = UserPopulation.generate(6, seed=4, bandwidth_median_kbps=1200.0)
+        library = VideoLibrary(
+            num_videos=3, mean_duration=30.0, std_duration=8.0, seed=2
+        )
+        generator = LowBandwidthTraceGenerator()
+        seeds = spawn_session_seeds(11, 6 * sessions_per_user)
+        specs = []
+        for u, profile in enumerate(population):
+            abr = make_lingxi_abr(predictor, 100 + u, mode)
+            exit_model = profile.exit_model()
+            trace = generator.generate(70, rng)
+            for s in range(sessions_per_user):
+                specs.append(
+                    SessionSpec(
+                        abr=abr,
+                        video=library[(u + s) % 3],
+                        trace=trace,
+                        exit_model=exit_model,
+                        seed=seeds[u * sessions_per_user + s],
+                        user_id=profile.user_id,
+                    )
+                )
+        return specs
+
+    def _assert_controllers_equal(self, scalar_specs, vector_specs):
+        for scalar_spec, vector_spec in zip(scalar_specs, vector_specs):
+            scalar_controller = scalar_spec.abr.controller
+            vector_controller = vector_spec.abr.controller
+            assert scalar_controller.history == vector_controller.history
+            assert (
+                scalar_controller.best_parameters
+                == vector_controller.best_parameters
+            )
+
+    @pytest.mark.parametrize("mode", ["fixed", "bayesian"])
+    def test_lingxi_sessions_match_scalar_with_zero_fallbacks(
+        self, predictor, mode
+    ):
+        scalar_specs = self._specs(predictor, mode)
+        vector_specs = self._specs(predictor, mode)
+        scalar_traces = get_backend("scalar").run_batch(scalar_specs)
+        backend = VectorBackend()
+        vector_traces = backend.run_batch(vector_specs)
+        assert_traces_equal(scalar_traces, vector_traces)
+        assert backend.last_fallback_sessions == 0
+        self._assert_controllers_equal(scalar_specs, vector_specs)
+        # the loop actually optimized (otherwise the gate proves nothing)
+        assert sum(
+            len(spec.abr.controller.history) for spec in scalar_specs
+        ) > 0
+
+    @pytest.mark.parametrize("mode", ["fixed", "bayesian"])
+    def test_shared_per_user_instances_run_in_waves(self, predictor, mode):
+        """One user's sessions share a LingXiABR; state must flow in order."""
+        scalar_specs = self._specs(predictor, mode, sessions_per_user=3)
+        vector_specs = self._specs(predictor, mode, sessions_per_user=3)
+        scalar_traces = get_backend("scalar").run_batch(scalar_specs)
+        backend = VectorBackend()
+        vector_traces = backend.run_batch(vector_specs)
+        assert_traces_equal(scalar_traces, vector_traces)
+        assert backend.last_fallback_sessions == 0
+        self._assert_controllers_equal(scalar_specs, vector_specs)
+
+    def test_sequential_evaluator_still_matches_without_batching(self, predictor):
+        """Controllers on the sequential evaluator optimize per session."""
+        def build():
+            controller = LingXiController(
+                parameter_space=ParameterSpace.for_hyb(),
+                predictor=predictor,
+                monte_carlo=MonteCarloConfig(num_samples=2, max_sample_duration_s=16.0),
+                trigger=TriggerPolicy(stall_count_threshold=1),
+                config=ControllerConfig(mode="fixed", max_sample_times=2, seed=7),
+            )
+            abr = LingXiABR(HYB(), controller)
+            video = Video(num_segments=30, seed=4)
+            trace = LowBandwidthTraceGenerator().generate(
+                40, np.random.default_rng(2)
+            )
+            return [SessionSpec(abr=abr, video=video, trace=trace, seed=5)]
+
+        scalar_specs, vector_specs = build(), build()
+        scalar_traces = get_backend("scalar").run_batch(scalar_specs)
+        backend = VectorBackend()
+        vector_traces = backend.run_batch(vector_specs)
+        assert_traces_equal(scalar_traces, vector_traces)
+        assert backend.last_fallback_sessions == 0
+        self._assert_controllers_equal(scalar_specs, vector_specs)
+
+    def test_lingxi_over_kernelless_inner_falls_back(self, predictor):
+        controller = make_lingxi_abr(predictor, 0, "fixed").controller
+        abr = LingXiABR(KernellessABR(), controller)
+        video = Video(num_segments=8, seed=0)
+        trace = StationaryTraceGenerator(2000.0).generate(8, np.random.default_rng(0))
+        spec = SessionSpec(abr=abr, video=video, trace=trace, seed=1)
+        assert not VectorBackend._vectorizable(spec)
+        backend = VectorBackend()
+        backend.run_batch([spec])
+        assert backend.last_fallback_sessions == 1
 
 
 class TestBackendSeam:
@@ -401,7 +559,7 @@ class TestFleetBackendRouting:
         pooled = self._run(population, library, "vector", num_workers=2)
         assert inline.metrics == pooled.metrics
 
-    def test_vector_fleet_with_lingxi_factory_falls_back_and_keeps_state(
+    def test_vector_fleet_with_lingxi_factory_runs_hosted_and_keeps_state(
         self, population, library
     ):
         predictor = ExitRatePredictor(channels=8, hidden=16, seed=0)
