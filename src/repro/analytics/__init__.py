@@ -16,6 +16,8 @@ from repro.analytics.logs import SessionLog, LogCollection, LinkUtilizationLog
 from repro.analytics.metrics import GroupDailyMetrics, aggregate_daily_metrics
 from repro.analytics.abtest import (
     ABTestResult,
+    ArmComparison,
+    compare_arm_series,
     welch_ttest,
     relative_improvement,
     difference_in_differences,
@@ -32,6 +34,8 @@ __all__ = [
     "GroupDailyMetrics",
     "aggregate_daily_metrics",
     "ABTestResult",
+    "ArmComparison",
+    "compare_arm_series",
     "welch_ttest",
     "relative_improvement",
     "difference_in_differences",

@@ -84,12 +84,15 @@ class SessionLog:
 
 
 class LogCollection:
-    """A corpus of :class:`SessionLog` records with §2-style aggregations."""
+    """A corpus of :class:`SessionLog` records with §2-style aggregations.
 
-    def __init__(self, sessions: Iterable[SessionLog]) -> None:
+    A collection may be **empty** — longitudinal fleets with churn produce
+    zero-arrival days, and those days must still aggregate (to zeros/NaNs)
+    and survive telemetry round trips rather than crash the campaign.
+    """
+
+    def __init__(self, sessions: Iterable[SessionLog] = ()) -> None:
         self._sessions = list(sessions)
-        if not self._sessions:
-            raise ValueError("a log collection needs at least one session")
 
     def __len__(self) -> int:
         return len(self._sessions)

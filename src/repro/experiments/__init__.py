@@ -21,6 +21,7 @@ Figure 12 ``fig12_ab_test``          — 10-day difference-in-differences A/B
 Figure 13 ``fig13_bandwidth_bins``   — per-bandwidth-bin parameters / stalls
 Figure 14 ``fig14_exit_rate_vs_param`` — stall exit rate vs parameter
 Figure 15 ``fig15_user_trajectories`` — per-user parameter trajectories
+Figure 16 ``fig16_longitudinal``      — compounding cross-day A/B campaign
 ========  =======================================================
 """
 

@@ -31,6 +31,7 @@ from repro.experiments import (
     fig13_bandwidth_bins,
     fig14_exit_rate_vs_param,
     fig15_user_trajectories,
+    fig16_longitudinal,
 )
 from repro.experiments.common import SubstrateConfig, build_substrate
 from repro.net.topology import available_topologies
@@ -52,6 +53,7 @@ FIGURE_IDS: tuple[str, ...] = (
     "fig13",
     "fig14",
     "fig15",
+    "fig16_longitudinal",
 )
 
 _FIG12_DEPENDENTS: frozenset[str] = frozenset({"fig13", "fig14", "fig15"})
@@ -106,6 +108,7 @@ def run_all(
     step("fig13", lambda: fig13_bandwidth_bins.run(substrate=substrate, ab_result=ab_result))
     step("fig14", lambda: fig14_exit_rate_vs_param.run(substrate=substrate, ab_result=ab_result))
     step("fig15", lambda: fig15_user_trajectories.run(substrate=substrate, ab_result=ab_result))
+    step("fig16_longitudinal", lambda: fig16_longitudinal.run(substrate=substrate))
 
     if verbose:
         if "fig04" in results:
@@ -121,6 +124,9 @@ def run_all(
             print(fig12.watch_time.summary())
             print(fig12.bitrate.summary())
             print(fig12.stall_time.summary())
+        if "fig16_longitudinal" in results:
+            for line in results["fig16_longitudinal"].summary_lines():
+                print(line)
     return results
 
 

@@ -16,6 +16,9 @@ platform simulator:
   replay/loader API.
 * :mod:`repro.fleet.checkpoint` — per-user controller-state checkpointing for
   multi-day campaigns across process boundaries.
+* :mod:`repro.fleet.longitudinal` — engagement-coupled multi-day campaigns:
+  retention-driven churn, population drift, new-user influx, and the
+  cross-day A/B harness (the compounding analogue of Figure 12).
 """
 
 from repro.fleet.batched import BatchedExitPredictor, BatchedMonteCarloEvaluator
@@ -27,6 +30,23 @@ from repro.fleet.checkpoint import (
     restore_controllers,
     save_checkpoint_states,
     save_fleet_checkpoint,
+)
+from repro.fleet.longitudinal import (
+    CampaignResumeState,
+    DayResult,
+    DriftConfig,
+    load_resume_state,
+    LongitudinalABResult,
+    LongitudinalCampaign,
+    LongitudinalConfig,
+    LongitudinalResult,
+    RetentionDecision,
+    assign_arms,
+    replay_day_summaries,
+    replay_retention_decisions,
+    run_ab_campaign,
+    run_longitudinal_campaign,
+    shifting_device_mix,
 )
 from repro.fleet.orchestrator import (
     FleetConfig,
@@ -78,6 +98,21 @@ __all__ = [
     "restore_controllers",
     "save_checkpoint_states",
     "save_fleet_checkpoint",
+    "CampaignResumeState",
+    "DayResult",
+    "DriftConfig",
+    "load_resume_state",
+    "LongitudinalABResult",
+    "LongitudinalCampaign",
+    "LongitudinalConfig",
+    "LongitudinalResult",
+    "RetentionDecision",
+    "assign_arms",
+    "replay_day_summaries",
+    "replay_retention_decisions",
+    "run_ab_campaign",
+    "run_longitudinal_campaign",
+    "shifting_device_mix",
     "FleetConfig",
     "FleetMetrics",
     "FleetOrchestrator",

@@ -140,6 +140,13 @@ class FleetConfig:
     #: through the spec-batched path regardless of backend, and emit
     #: per-slot link-utilization telemetry.
     network: str | NetworkTopology | None = None
+    #: Force the spec-batched shard path even for un-networked
+    #: ``backend="scalar"`` runs.  On that path both backends resolve the
+    #: same per-user identity-keyed RNG substreams, so a scalar run is
+    #: **bit-identical** to a vector run of the same config — the property
+    #: longitudinal campaigns pin across backends.  ``False`` keeps the
+    #: historical shared-shard-RNG scalar loop.
+    spec_batched: bool = False
 
     def __post_init__(self) -> None:
         if self.num_shards <= 0:
@@ -171,6 +178,7 @@ class ShardTask:
     session_config: SessionConfig
     controller_states: dict[str, dict] = field(default_factory=dict)
     backend: str = "scalar"
+    spec_batched: bool = False
     #: Root fleet seed, used by the spec-batched path to key per-user
     #: `SeedSequence` substreams by user *identity* (md5) instead of shard
     #: position — the property that makes batched fleet runs invariant to
@@ -317,7 +325,7 @@ def _run_shard(task: ShardTask) -> ShardOutput:
     :class:`~repro.sim.backend.SessionSpec` list up front and hands it to the
     backend as one batch with per-session RNG substreams.
     """
-    if task.backend != "scalar" or task.network is not None:
+    if task.backend != "scalar" or task.network is not None or task.spec_batched:
         return _run_shard_batched(task)
     start = time.perf_counter()
     rng = np.random.default_rng(task.seed_seq)
@@ -555,6 +563,7 @@ class FleetOrchestrator:
                     p.user_id: states[p.user_id] for p in profiles if p.user_id in states
                 },
                 backend=config.backend,
+                spec_batched=config.spec_batched,
                 seed=config.seed,
                 network=network,
                 shard_link_ids=tuple(shard_links[index]),

@@ -96,13 +96,15 @@ class TelemetryWriter:
 
     Opening a path truncates it — one telemetry file describes exactly one
     run, which is what keeps :func:`replay_log_collection` equal to the live
-    run's collection.
+    run's collection.  ``append=True`` keeps existing events instead: that is
+    how a *resumed* longitudinal campaign continues its ``campaign.jsonl``
+    without destroying the pre-crash decision history.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, append: bool = False) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._handle = self.path.open("w")
+        self._handle = self.path.open("a" if append else "w")
         self.events_written = 0
 
     def emit(self, event: TelemetryEvent) -> None:
@@ -236,8 +238,18 @@ def replay_log_collection(path: str | Path) -> LogCollection:
     segment record survives the JSON write→read roundtrip exactly, so all
     aggregations (exit rate by stall bin, watch time by QoS, …) match the
     in-memory ones bit-for-bit.
+
+    A telemetry file with events but **no** ``session`` events replays into an
+    empty collection — that is what a zero-arrival day of a longitudinal
+    campaign writes (``run_start``/``run_end`` only).  A file with no events
+    at all is rejected: it is not fleet telemetry.
     """
-    sessions = replay_sessions(read_events(path))
-    if not sessions:
-        raise ValueError(f"no session events found in {path}")
+    sessions: list[SessionLog] = []
+    saw_event = False
+    for event in read_events(path):
+        saw_event = True
+        if event.event == "session":
+            sessions.append(session_from_payload(event.user_id, event.payload))
+    if not saw_event:
+        raise ValueError(f"no telemetry events found in {path}")
     return LogCollection(sessions)

@@ -86,6 +86,19 @@ class CrossTraffic:
         cycle = math.cos(2.0 * math.pi * (step / self.period - self.phase))
         return self.base_kbps + self.peak_kbps * (1.0 + cycle) / 2.0
 
+    def scaled(self, factor: float) -> "CrossTraffic":
+        """Copy with base and peak loads multiplied by ``factor``.
+
+        The diurnal *shape* (period, phase) is preserved; only the amplitude
+        changes — how longitudinal campaigns evolve background load across
+        simulated days.
+        """
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return replace(
+            self, base_kbps=self.base_kbps * factor, peak_kbps=self.peak_kbps * factor
+        )
+
 
 @dataclass(frozen=True)
 class LinkEvent:
@@ -203,6 +216,23 @@ class NetworkTopology:
             self,
             links=tuple(
                 replace(link, cross_traffic=cross_traffic) for link in self.links
+            ),
+        )
+
+    def with_cross_traffic_scale(self, factor: float) -> "NetworkTopology":
+        """Copy with every link's cross-traffic amplitude scaled by ``factor``.
+
+        Links without cross traffic are left untouched, so the helper
+        composes with scenario shaping (e.g. ``evening_peak`` adds the
+        profiles, the longitudinal drift then grows them day over day).
+        """
+        return replace(
+            self,
+            links=tuple(
+                link
+                if link.cross_traffic is None
+                else replace(link, cross_traffic=link.cross_traffic.scaled(factor))
+                for link in self.links
             ),
         )
 

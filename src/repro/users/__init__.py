@@ -13,7 +13,10 @@ smaller.  This package provides:
   the deterministic rule-based users of §5.2, and per-user data-driven models
   fitted from engagement histories;
 * :mod:`repro.users.population` — heterogeneous user population generation
-  matching the distributions reported in Figures 2 and 5.
+  matching the distributions reported in Figures 2 and 5;
+* :mod:`repro.users.retention` — engagement-driven retention models mapping a
+  day's QoE outcome to a next-day arrival probability (the churn loop of the
+  longitudinal fleet, :mod:`repro.fleet.longitudinal`).
 """
 
 from repro.users.perception import StallSensitivityProfile, SensitivityArchetype
@@ -26,6 +29,14 @@ from repro.users.engagement import (
     features_from_segment_records,
 )
 from repro.users.population import UserProfile, UserPopulation
+from repro.users.retention import (
+    DataDrivenRetentionModel,
+    EngagementSummary,
+    RetentionModel,
+    RuleBasedRetentionModel,
+    fit_retention_model,
+    summarize_sessions,
+)
 
 __all__ = [
     "StallSensitivityProfile",
@@ -38,4 +49,10 @@ __all__ = [
     "features_from_segment_records",
     "UserProfile",
     "UserPopulation",
+    "DataDrivenRetentionModel",
+    "EngagementSummary",
+    "RetentionModel",
+    "RuleBasedRetentionModel",
+    "fit_retention_model",
+    "summarize_sessions",
 ]

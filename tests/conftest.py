@@ -16,6 +16,29 @@ from repro.sim.video import BitrateLadder, Video, VideoLibrary
 from repro.users.population import UserPopulation
 
 
+def pytest_addoption(parser: pytest.Parser) -> None:
+    """``--regen-golden``: rewrite the golden-trace corpus instead of failing.
+
+    Intentional behaviour changes update the committed corpus with::
+
+        PYTHONPATH=src python -m pytest tests/test_golden_traces.py --regen-golden
+
+    then the diff of ``tests/data/golden/`` is reviewed like any other code.
+    """
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/data/golden/*.json from the current engines",
+    )
+
+
+@pytest.fixture
+def regen_golden(request: pytest.FixtureRequest) -> bool:
+    """True when the run should rewrite the golden corpus."""
+    return bool(request.config.getoption("--regen-golden"))
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG for a single test."""

@@ -137,9 +137,18 @@ class TestLogCollection:
         groups = small_logs.group_by_user()
         assert sum(len(v) for v in groups.values()) == len(small_logs)
 
-    def test_empty_collection_rejected(self):
-        with pytest.raises(ValueError):
-            LogCollection([])
+    def test_empty_collection_aggregates_safely(self):
+        # Zero-arrival days of longitudinal campaigns produce empty
+        # collections; every aggregation must degrade to zeros/NaNs instead
+        # of dividing by zero.
+        empty = LogCollection([])
+        assert len(empty) == 0
+        assert empty.users() == []
+        assert empty.days() == []
+        assert np.isnan(empty.segment_exit_rate())
+        assert np.all(np.isnan(empty.exit_rate_by_level(4)))
+        assert empty.daily_stall_counts() == {}
+        assert aggregate_daily_metrics(empty.sessions, group="empty") == []
 
 
 class TestDailyMetrics:
