@@ -29,11 +29,47 @@ def _to_builtin(value):
     raise TypeError(f"not JSON serialisable: {type(value)!r}")
 
 
+def host_metadata() -> dict:
+    """Host fingerprint stamped into every benchmark document.
+
+    Baselines are only comparable across machines when the machine is
+    recorded: interpreter and numpy versions move the numbers, and so do
+    core count and platform.
+    """
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def _obs_summary() -> dict | None:
+    """Condensed observability snapshot, when the run was profiled."""
+    try:
+        from repro import obs
+    except ImportError:  # benchmarks runnable without src/ on the path
+        return None
+    collector = obs.active()
+    if collector is None:
+        return None
+    snapshot = collector.snapshot()
+    return {
+        "spans": snapshot["spans"],
+        "counters": snapshot["metrics"]["counters"],
+        "peak_rss_bytes": obs.peak_rss_bytes(),
+    }
+
+
 def emit_bench(name: str, results, config: dict | None = None) -> Path:
     """Write ``BENCH_<name>.json`` and return its path.
 
     ``results`` is the benchmark's row list (or any JSON-serialisable
     structure); ``config`` records the knobs the numbers were measured under.
+    The document is stamped with :func:`host_metadata`, and — when the
+    process has observability enabled — an ``obs`` summary (span tree,
+    counters, peak RSS).
     """
     out_dir = Path(os.environ.get("BENCH_OUTPUT_DIR", "."))
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -43,8 +79,12 @@ def emit_bench(name: str, results, config: dict | None = None) -> Path:
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "host": host_metadata(),
         "config": config or {},
         "results": results,
     }
+    obs_summary = _obs_summary()
+    if obs_summary is not None:
+        document["obs"] = obs_summary
     path.write_text(json.dumps(document, indent=2, default=_to_builtin) + "\n")
     return path

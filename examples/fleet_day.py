@@ -15,6 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.fleet import (
     FleetConfig,
     FleetOrchestrator,
@@ -63,7 +64,23 @@ def main() -> None:
         default=None,
         help="telemetry JSONL path (default: a temporary file)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "enable the observability layer: span tree across the "
+            "orchestrator/engine/allocator layers, fleet counters, and a "
+            "run_report telemetry event"
+        ),
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="with --profile, also write the run health report JSON here",
+    )
     args = parser.parse_args()
+    if args.profile:
+        obs.enable()
 
     population = UserPopulation.generate(
         args.users, seed=args.seed, bandwidth_median_kbps=6000.0
@@ -114,6 +131,13 @@ def main() -> None:
             f"    shard {output.shard_index}: {len(output.sessions)} sessions, "
             f"{output.num_segments} segments in {output.wall_time_s:.1f}s"
         )
+
+    if args.profile and result.obs_report is not None:
+        print()
+        print(obs.format_report(result.obs_report))
+        if args.report:
+            path = obs.write_report(result.obs_report, args.report)
+            print(f"run health report written to {path}")
 
     size_kb = telemetry_path.stat().st_size / 1024
     print(f"\ntelemetry: {telemetry_path} ({size_kb:.0f} KiB)")

@@ -22,6 +22,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.abr.base import QoEParameters
 from repro.fleet import (
     DriftConfig,
@@ -61,6 +62,19 @@ def _parse_args() -> argparse.Namespace:
     )
     parser.add_argument(
         "--ab", action="store_true", help="run the two-arm cross-day A/B harness"
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "enable the observability layer and print/write a campaign-wide "
+            "run health report (span tree across campaign/fleet/engine layers)"
+        ),
+    )
+    parser.add_argument(
+        "--report",
+        default=None,
+        help="with --profile, also write the run health report JSON here",
     )
     return parser.parse_args()
 
@@ -157,9 +171,21 @@ def main() -> None:
         args.users, seed=args.seed, bandwidth_median_kbps=3500.0
     )
     library = VideoLibrary(num_videos=6, mean_duration=45.0, std_duration=15.0, seed=2)
-    run_single(args, population, library)
-    if args.ab:
-        run_ab(args, population, library)
+    if args.profile:
+        obs.enable()
+    try:
+        run_single(args, population, library)
+        if args.ab:
+            run_ab(args, population, library)
+    finally:
+        if args.profile:
+            report = obs.build_run_report(run_id="longitudinal")
+            obs.disable()
+            print()
+            print(obs.format_report(report))
+            if args.report:
+                path = obs.write_report(report, args.report)
+                print(f"run health report written to {path}")
 
 
 if __name__ == "__main__":

@@ -14,9 +14,11 @@ from __future__ import annotations
 
 import argparse
 import time
+from pathlib import Path
 
 import numpy as np
 
+from repro import obs
 from repro.experiments import (
     fig01_qos_saturation,
     fig02_opportunities,
@@ -90,7 +92,8 @@ def run_all(
         if name not in selected:
             return
         start = time.time()
-        results[name] = fn()
+        with obs.span(f"runner.{name}"):
+            results[name] = fn()
         if verbose:
             print(f"{name}: done in {time.time() - start:.1f}s")
 
@@ -167,6 +170,20 @@ def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
             "corpus carries emergent congestion (default: uncoupled)"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "enable the observability layer (repro.obs): per-figure span "
+            "tree, fleet metrics and a run health report written to "
+            "--report-out and printed at the end"
+        ),
+    )
+    parser.add_argument(
+        "--report-out",
+        default="report.json",
+        help="where --profile writes the run health report (default: report.json)",
+    )
     return parser.parse_args(argv)
 
 
@@ -183,11 +200,25 @@ def main(argv: list[str] | None = None) -> dict[str, object]:
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
     np.set_printoptions(precision=4, suppress=True)
-    return run_all(
-        substrate_config=SubstrateConfig(backend=args.backend, network=args.network),
-        verbose=not args.quiet,
-        figures=figures,
-    )
+    if args.profile:
+        obs.enable()
+    try:
+        results = run_all(
+            substrate_config=SubstrateConfig(
+                backend=args.backend, network=args.network
+            ),
+            verbose=not args.quiet,
+            figures=figures,
+        )
+    finally:
+        if args.profile:
+            report = obs.build_run_report(run_id="experiments.runner")
+            path = obs.write_report(report, Path(args.report_out))
+            obs.disable()
+            if not args.quiet:
+                print(obs.format_report(report))
+            print(f"run health report written to {path}")
+    return results
 
 
 if __name__ == "__main__":

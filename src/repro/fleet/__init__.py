@@ -82,6 +82,8 @@ from repro.fleet.telemetry import (
     replay_link_usage,
     replay_link_utilization,
     replay_log_collection,
+    replay_run_report,
+    replay_run_summary,
     replay_sessions,
     session_event,
     session_from_payload,
@@ -142,6 +144,8 @@ __all__ = [
     "replay_link_usage",
     "replay_link_utilization",
     "replay_log_collection",
+    "replay_run_report",
+    "replay_run_summary",
     "replay_sessions",
     "session_event",
     "session_from_payload",

@@ -28,6 +28,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.abr.base import ABRAlgorithm, QoEParameters
 from repro.core.exit_predictor import ExitRatePredictor
 from repro.core.monte_carlo import MonteCarloConfig, virtual_video
@@ -148,7 +149,13 @@ class BatchedExitPredictor:
                     f"expected (n, {NUM_FEATURES}, {WINDOW_LENGTH}) matrices, "
                     f"got {matrices.shape}"
                 )
-            stall_probabilities = self.predictor.predict_batch(matrices[stalled_rows])[:, 1]
+            obs.counter_add("nn.forwards")
+            obs.counter_add("nn.rows", int(stalled_rows.size))
+            obs.observe("nn.batch_size", int(stalled_rows.size))
+            with obs.span("nn.forward"):
+                stall_probabilities = self.predictor.predict_batch(
+                    matrices[stalled_rows]
+                )[:, 1]
             probabilities = probabilities.copy()
             probabilities[stalled_rows] = np.clip(
                 probabilities[stalled_rows] + stall_probabilities, 0.0, 1.0
@@ -287,6 +294,13 @@ class BatchedMonteCarloEvaluator:
         against their ``best_exit_rate`` and drop out of the batch the moment
         they abort, exactly like a standalone ``evaluate``.
         """
+        obs.counter_add("mc.rollout_requests", len(requests))
+        with obs.span("mc.evaluate_requests"):
+            return self._evaluate_requests_impl(requests)
+
+    def _evaluate_requests_impl(
+        self, requests: Sequence[RolloutRequest]
+    ) -> list[list[float]]:
         saved: dict[int, tuple[ABRAlgorithm, QoEParameters]] = {}
         results: list[list[float | None]] = [
             [None] * len(request.candidates) for request in requests

@@ -42,6 +42,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.abr.base import ABRAlgorithm
 from repro.analytics.abtest import ArmComparison, compare_arm_series
 from repro.analytics.logs import LogCollection
@@ -469,6 +470,35 @@ class LongitudinalCampaign:
         resume state, every roster user arrives unconditionally on the first
         resumed day).
         """
+        with obs.span("campaign.run"):
+            return self._run_campaign(
+                population,
+                library,
+                abr_factory=abr_factory,
+                retention_model=retention_model,
+                scenario=scenario,
+                scenario_schedule=scenario_schedule,
+                telemetry_dir=telemetry_dir,
+                checkpoint_dir=checkpoint_dir,
+                controller_states=controller_states,
+                start_day=start_day,
+                resume_state=resume_state,
+            )
+
+    def _run_campaign(
+        self,
+        population: UserPopulation,
+        library: VideoLibrary,
+        abr_factory: Callable[[UserProfile, int], ABRAlgorithm] | None,
+        retention_model: RetentionModel | None,
+        scenario: str | Scenario | None,
+        scenario_schedule: Callable[[int], str | Scenario] | None,
+        telemetry_dir: str | Path | None,
+        checkpoint_dir: str | Path | None,
+        controller_states: dict[str, dict] | None,
+        start_day: int,
+        resume_state: CampaignResumeState | None,
+    ) -> LongitudinalResult:
         config = self.config
         retention_model = retention_model or RuleBasedRetentionModel()
         telemetry_dir = Path(telemetry_dir) if telemetry_dir is not None else None
@@ -525,176 +555,182 @@ class LongitudinalCampaign:
         day_results: list[DayResult] = []
         try:
             for offset in range(config.days):
-                day = start_day + offset
-                scen = get_scenario(
-                    scenario_schedule(day) if scenario_schedule is not None else scenario
-                )
-                topology = base_topology
-                if topology is not None and drift.cross_traffic_growth != 0.0:
-                    topology = topology.with_cross_traffic_scale(
-                        (1.0 + drift.cross_traffic_growth) ** day
+                with obs.span("campaign.day"):
+                    day = start_day + offset
+                    scen = get_scenario(
+                        scenario_schedule(day) if scenario_schedule is not None else scenario
                     )
-
-                decisions: dict[str, RetentionDecision] = {}
-                arrivals: list[UserProfile] = []
-                for profile in roster:
-                    uid = profile.user_id
-                    if first_day[uid] == day:
-                        decision = RetentionDecision(
-                            uid, day, 1.0, returned=True, lapsed=False, new_user=True
+                    topology = base_topology
+                    if topology is not None and drift.cross_traffic_growth != 0.0:
+                        topology = topology.with_cross_traffic_scale(
+                            (1.0 + drift.cross_traffic_growth) ** day
                         )
+
+                    with obs.span("campaign.retention"):
+                        decisions: dict[str, RetentionDecision] = {}
+                        arrivals: list[UserProfile] = []
+                        for profile in roster:
+                            uid = profile.user_id
+                            if first_day[uid] == day:
+                                decision = RetentionDecision(
+                                    uid, day, 1.0, returned=True, lapsed=False, new_user=True
+                                )
+                            else:
+                                summary = prev_summaries.get(uid)
+                                probability = float(
+                                    retention_model.return_probability(summary)
+                                )
+                                if not 0.0 <= probability <= 1.0:
+                                    raise ValueError(
+                                        f"retention probability {probability} for {uid!r} "
+                                        "outside [0, 1]"
+                                    )
+                                draw = float(
+                                    _decision_rng(config.seed, "retention", day, uid).random()
+                                )
+                                decision = RetentionDecision(
+                                    uid,
+                                    day,
+                                    probability,
+                                    returned=draw < probability,
+                                    lapsed=summary is None,
+                                    new_user=False,
+                                )
+                            decisions[uid] = decision
+                            if decision.returned:
+                                arrivals.append(profile)
+
+                    fleet_config = config._fleet_config(day=day, network=topology)
+                    run_id = f"{campaign_id}-d{day:03d}"
+                    telemetry_path = (
+                        telemetry_dir / f"day_{day:03d}.jsonl"
+                        if telemetry_dir is not None
+                        else None
+                    )
+                    if arrivals:
+                        result = FleetOrchestrator(fleet_config).run(
+                            UserPopulation(arrivals),
+                            library,
+                            scenario=scen,
+                            abr_factory=abr_factory,
+                            telemetry_path=telemetry_path,
+                            controller_states=states,
+                            run_id=run_id,
+                        )
+                        states.update(result.controller_states)
                     else:
-                        summary = prev_summaries.get(uid)
-                        probability = float(
-                            retention_model.return_probability(summary)
+                        # Zero-arrival day: a first-class (empty) fleet result so
+                        # telemetry, metrics and replay stay uniform.
+                        result = FleetResult(
+                            run_id=run_id,
+                            config=fleet_config,
+                            scenario_name=scen.name,
+                            logs=LogCollection([]),
+                            shard_outputs=[],
+                            controller_states={},
+                            wall_time_s=0.0,
+                            telemetry_path=telemetry_path,
                         )
-                        if not 0.0 <= probability <= 1.0:
-                            raise ValueError(
-                                f"retention probability {probability} for {uid!r} "
-                                "outside [0, 1]"
+                        if telemetry_path is not None:
+                            write_fleet_telemetry(result, telemetry_path)
+
+                    with obs.span("campaign.checkpoint"):
+                        if checkpoint_dir is not None:
+                            path = save_checkpoint_states(
+                                states,
+                                checkpoint_dir / f"day_{day:03d}.json",
+                                run_id=run_id,
+                                day=day,
                             )
-                        draw = float(
-                            _decision_rng(config.seed, "retention", day, uid).random()
-                        )
-                        decision = RetentionDecision(
-                            uid,
-                            day,
-                            probability,
-                            returned=draw < probability,
-                            lapsed=summary is None,
-                            new_user=False,
-                        )
-                    decisions[uid] = decision
-                    if decision.returned:
-                        arrivals.append(profile)
+                            # Reload what was written: cross-day carry-over always
+                            # rides the checkpoint layer, so a process boundary
+                            # between days cannot change the campaign.
+                            states = load_fleet_checkpoint(path).states
 
-                fleet_config = config._fleet_config(day=day, network=topology)
-                run_id = f"{campaign_id}-d{day:03d}"
-                telemetry_path = (
-                    telemetry_dir / f"day_{day:03d}.jsonl"
-                    if telemetry_dir is not None
-                    else None
-                )
-                if arrivals:
-                    result = FleetOrchestrator(fleet_config).run(
-                        UserPopulation(arrivals),
-                        library,
-                        scenario=scen,
-                        abr_factory=abr_factory,
-                        telemetry_path=telemetry_path,
-                        controller_states=states,
-                        run_id=run_id,
-                    )
-                    states.update(result.controller_states)
-                else:
-                    # Zero-arrival day: a first-class (empty) fleet result so
-                    # telemetry, metrics and replay stay uniform.
-                    result = FleetResult(
-                        run_id=run_id,
-                        config=fleet_config,
-                        scenario_name=scen.name,
-                        logs=LogCollection([]),
-                        shard_outputs=[],
-                        controller_states={},
-                        wall_time_s=0.0,
-                        telemetry_path=telemetry_path,
-                    )
-                    if telemetry_path is not None:
-                        write_fleet_telemetry(result, telemetry_path)
-
-                if checkpoint_dir is not None:
-                    path = save_checkpoint_states(
-                        states,
-                        checkpoint_dir / f"day_{day:03d}.json",
-                        run_id=run_id,
+                    with obs.span("campaign.summarize"):
+                        summaries = {
+                            uid: summarize_sessions(
+                                sorted(sessions, key=lambda s: s.session_index)
+                            )
+                            for uid, sessions in result.logs.group_by_user().items()
+                        }
+                        eligible = [
+                            d for d in decisions.values() if not d.new_user and not d.lapsed
+                        ]
+                        retention_rate = (
+                            float(np.mean([d.returned for d in eligible]))
+                            if eligible
+                            else float("nan")
+                        )
+                    day_result = DayResult(
                         day=day,
+                        result=result,
+                        decisions=decisions,
+                        summaries=summaries,
+                        active_user_ids=tuple(p.user_id for p in arrivals),
+                        retention_rate=retention_rate,
                     )
-                    # Reload what was written: cross-day carry-over always
-                    # rides the checkpoint layer, so a process boundary
-                    # between days cannot change the campaign.
-                    states = load_fleet_checkpoint(path).states
+                    day_results.append(day_result)
 
-                summaries = {
-                    uid: summarize_sessions(
-                        sorted(sessions, key=lambda s: s.session_index)
-                    )
-                    for uid, sessions in result.logs.group_by_user().items()
-                }
-                eligible = [
-                    d for d in decisions.values() if not d.new_user and not d.lapsed
-                ]
-                retention_rate = (
-                    float(np.mean([d.returned for d in eligible]))
-                    if eligible
-                    else float("nan")
-                )
-                day_result = DayResult(
-                    day=day,
-                    result=result,
-                    decisions=decisions,
-                    summaries=summaries,
-                    active_user_ids=tuple(p.user_id for p in arrivals),
-                    retention_rate=retention_rate,
-                )
-                day_results.append(day_result)
-
-                if writer is not None:
-                    for uid in sorted(decisions):
+                    if writer is not None:
+                        for uid in sorted(decisions):
+                            writer.emit(
+                                TelemetryEvent(
+                                    run_id=campaign_id,
+                                    shard=-1,
+                                    user_id=uid,
+                                    event="retention",
+                                    payload=decisions[uid].as_payload(),
+                                )
+                            )
                         writer.emit(
                             TelemetryEvent(
                                 run_id=campaign_id,
                                 shard=-1,
-                                user_id=uid,
-                                event="retention",
-                                payload=decisions[uid].as_payload(),
+                                user_id="",
+                                event="day_summary",
+                                payload={
+                                    "day": day,
+                                    "dau": day_result.dau,
+                                    "retention_rate": (
+                                        None
+                                        if np.isnan(retention_rate)
+                                        else retention_rate
+                                    ),
+                                    "roster_size": len(roster),
+                                    "metrics": result.metrics.as_dict(),
+                                },
                             )
                         )
-                    writer.emit(
-                        TelemetryEvent(
-                            run_id=campaign_id,
-                            shard=-1,
-                            user_id="",
-                            event="day_summary",
-                            payload={
-                                "day": day,
-                                "dau": day_result.dau,
-                                "retention_rate": (
-                                    None
-                                    if np.isnan(retention_rate)
-                                    else retention_rate
-                                ),
-                                "roster_size": len(roster),
-                                "metrics": result.metrics.as_dict(),
-                            },
-                        )
-                    )
 
-                prev_summaries = summaries
-                if drift.profile_drift:
-                    roster = [
-                        p.next_day(_decision_rng(config.seed, "drift", day, p.user_id))
-                        for p in roster
-                    ]
-                if drift.influx_per_day > 0:
-                    new_profiles = _influx_profiles(config.seed, day, drift)
-                    for profile in new_profiles:
-                        if profile.user_id in first_day:
-                            raise ValueError(
-                                f"influx id collision: {profile.user_id!r}"
-                            )
-                        first_day[profile.user_id] = day + 1
-                    roster.extend(new_profiles)
-                if checkpoint_dir is not None:
-                    # Saved after drift/influx so the roster snapshot is the
-                    # morning-of-next-day one; pair with day_XXX.json via
-                    # load_resume_state to continue bit-identically.
-                    CampaignResumeState(
-                        next_day=day + 1,
-                        summaries=summaries,
-                        first_day=dict(first_day),
-                        controller_states={},
-                        roster=tuple(roster),
-                    ).save(checkpoint_dir / f"resume_day_{day:03d}.json")
+                    prev_summaries = summaries
+                    with obs.span("campaign.drift"):
+                        if drift.profile_drift:
+                            roster = [
+                                p.next_day(_decision_rng(config.seed, "drift", day, p.user_id))
+                                for p in roster
+                            ]
+                        if drift.influx_per_day > 0:
+                            new_profiles = _influx_profiles(config.seed, day, drift)
+                            for profile in new_profiles:
+                                if profile.user_id in first_day:
+                                    raise ValueError(
+                                        f"influx id collision: {profile.user_id!r}"
+                                    )
+                                first_day[profile.user_id] = day + 1
+                            roster.extend(new_profiles)
+                    with obs.span("campaign.checkpoint"):
+                        if checkpoint_dir is not None:
+                            # Saved after drift/influx so the roster snapshot is the
+                            # morning-of-next-day one; pair with day_XXX.json via
+                            # load_resume_state to continue bit-identically.
+                            CampaignResumeState(
+                                next_day=day + 1,
+                                summaries=summaries,
+                                first_day=dict(first_day),
+                                controller_states={},
+                                roster=tuple(roster),
+                            ).save(checkpoint_dir / f"resume_day_{day:03d}.json")
 
             if writer is not None:
                 writer.emit(

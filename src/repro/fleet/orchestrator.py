@@ -37,6 +37,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.abr.base import ABRAlgorithm, QoEParameters
 from repro.abr.hyb import HYB
 from repro.analytics.logs import LogCollection, SessionLog
@@ -191,6 +192,12 @@ class ShardTask:
     #: allocates — and reports usage for — the links it owns.
     network: NetworkTopology | None = None
     shard_link_ids: tuple[str, ...] = ()
+    #: Collect observability (spans + metrics) inside the shard worker and
+    #: ship the snapshot back with the result.  Set by the orchestrator when
+    #: the parent process has obs enabled; workers always run their own
+    #: fresh collector (see :func:`repro.obs.collect`), so a fork-inherited
+    #: parent collector is never mutated from a child.
+    profile: bool = False
 
 
 @dataclass
@@ -203,6 +210,14 @@ class ShardOutput:
     num_segments: int
     wall_time_s: float
     link_usage: list[LinkUsageSample] = field(default_factory=list)
+    #: Sessions the batched backend bounced to the scalar reference engine
+    #: (and the size of the batch they came from); zero on the classic
+    #: scalar path, which has no fallback concept.
+    fallback_sessions: int = 0
+    batch_sessions: int = 0
+    #: Serialised :meth:`repro.obs.Collector.snapshot` when the shard ran
+    #: with ``profile=True``; the orchestrator grafts it into its own tree.
+    obs: dict | None = None
 
 
 @dataclass(frozen=True)
@@ -254,6 +269,19 @@ class FleetResult:
     controller_states: dict[str, dict]
     wall_time_s: float
     telemetry_path: Path | None = None
+    #: Run health report (:func:`repro.obs.build_run_report`) when the run
+    #: executed with observability enabled; ``None`` otherwise.
+    obs_report: dict | None = None
+
+    @property
+    def total_fallback_sessions(self) -> int:
+        """Sessions the batched backends bounced to the scalar engine."""
+        return sum(output.fallback_sessions for output in self.shard_outputs)
+
+    @property
+    def total_batch_sessions(self) -> int:
+        """Sessions that went through the spec-batched shard path."""
+        return sum(output.batch_sessions for output in self.shard_outputs)
 
     @property
     def metrics(self) -> FleetMetrics:
@@ -315,7 +343,23 @@ def _run_shard(task: ShardTask) -> ShardOutput:
     """Simulate one shard: every user's sessions for one simulated day.
 
     Module-level so it pickles for the process pool; also called inline when
-    the pool is disabled.  ``backend="scalar"`` keeps the classic loop — one
+    the pool is disabled.  With ``task.profile`` the shard runs under a
+    private obs collector (identical inline and in a forked worker) and the
+    snapshot travels back in :attr:`ShardOutput.obs`.
+    """
+    if not task.profile:
+        return _run_shard_impl(task)
+    with obs.collect() as collector:
+        with obs.span("shard.run"):
+            output = _run_shard_impl(task)
+        output.obs = collector.snapshot()
+    return output
+
+
+def _run_shard_impl(task: ShardTask) -> ShardOutput:
+    """Backend dispatch for one shard.
+
+    ``backend="scalar"`` keeps the classic loop — one
     shared shard RNG threading through every session, preserving historical
     fleet numbers for the built-in factories (fixed-mode LingXi controllers
     are the exception: their candidate sweeps now use the batched
@@ -425,56 +469,57 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
     metas: list[tuple[str, int, int, float]] = []
     controllers: dict[str, object] = {}
 
-    for profile in task.profiles:
-        user_seq = np.random.SeedSequence(
-            task.seed, spawn_key=stable_user_key(profile.user_id)
-        )
-        rng = np.random.default_rng(user_seq.spawn(1)[0])
-        abr_seed = int(rng.integers(2**31 - 1))
-        abr = task.abr_factory(profile, abr_seed)
-        controller = getattr(abr, "controller", None)
-        if controller is not None:
-            if profile.user_id in task.controller_states:
-                restore_controller_state(
-                    controller, task.controller_states[profile.user_id]
-                )
-            controllers[profile.user_id] = controller
-        exit_model = profile.exit_model()
-        scenario_profile = (
-            replace(profile, sessions_per_day=task.sessions_per_user)
-            if task.sessions_per_user is not None
-            else profile
-        )
-        num_sessions = task.scenario.sessions_for(scenario_profile, rng)
-        trace = task.scenario.trace_for(profile, rng, task.trace_length)
-        session_seeds = user_seq.spawn(num_sessions)
-        link = (
-            task.network.link_for(profile.user_id).link_id
-            if task.network is not None
-            else None
-        )
-        for session_index in range(num_sessions):
-            video = task.scenario.video_for(profile, task.library, rng)
-            start_step = (
-                task.scenario.start_for(scenario_profile, session_index, rng)
+    with obs.span("shard.build_specs"):
+        for profile in task.profiles:
+            user_seq = np.random.SeedSequence(
+                task.seed, spawn_key=stable_user_key(profile.user_id)
+            )
+            rng = np.random.default_rng(user_seq.spawn(1)[0])
+            abr_seed = int(rng.integers(2**31 - 1))
+            abr = task.abr_factory(profile, abr_seed)
+            controller = getattr(abr, "controller", None)
+            if controller is not None:
+                if profile.user_id in task.controller_states:
+                    restore_controller_state(
+                        controller, task.controller_states[profile.user_id]
+                    )
+                controllers[profile.user_id] = controller
+            exit_model = profile.exit_model()
+            scenario_profile = (
+                replace(profile, sessions_per_day=task.sessions_per_user)
+                if task.sessions_per_user is not None
+                else profile
+            )
+            num_sessions = task.scenario.sessions_for(scenario_profile, rng)
+            trace = task.scenario.trace_for(profile, rng, task.trace_length)
+            session_seeds = user_seq.spawn(num_sessions)
+            link = (
+                task.network.link_for(profile.user_id).link_id
                 if task.network is not None
-                else 0
+                else None
             )
-            specs.append(
-                SessionSpec(
-                    abr=abr,
-                    video=video,
-                    trace=trace,
-                    exit_model=exit_model,
-                    seed=session_seeds[session_index],
-                    user_id=profile.user_id,
-                    link=link,
-                    start_step=start_step,
+            for session_index in range(num_sessions):
+                video = task.scenario.video_for(profile, task.library, rng)
+                start_step = (
+                    task.scenario.start_for(scenario_profile, session_index, rng)
+                    if task.network is not None
+                    else 0
                 )
-            )
-            metas.append(
-                (profile.user_id, task.day, session_index, profile.mean_bandwidth_kbps)
-            )
+                specs.append(
+                    SessionSpec(
+                        abr=abr,
+                        video=video,
+                        trace=trace,
+                        exit_model=exit_model,
+                        seed=session_seeds[session_index],
+                        user_id=profile.user_id,
+                        link=link,
+                        start_step=start_step,
+                    )
+                )
+                metas.append(
+                    (profile.user_id, task.day, session_index, profile.mean_bandwidth_kbps)
+                )
 
     run_network = (
         task.network.restrict(task.shard_link_ids)
@@ -482,11 +527,15 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
         else None
     )
     link_usage: list[LinkUsageSample] = []
-    playbacks = backend.run_batch(
-        specs, task.session_config, network=run_network, link_usage=link_usage
-    )
+    with obs.span("shard.run_batch"):
+        playbacks = backend.run_batch(
+            specs, task.session_config, network=run_network, link_usage=link_usage
+        )
     link_usage = _trim_trailing_idle(link_usage)
     sessions = SessionLog.zip_with_playbacks(metas, playbacks)
+    fallback_sessions = int(getattr(backend, "last_fallback_sessions", 0))
+    obs.counter_add("backend.batch_sessions", len(specs))
+    obs.counter_add("backend.fallback_sessions", fallback_sessions)
     return ShardOutput(
         shard_index=task.shard_index,
         sessions=sessions,
@@ -497,6 +546,8 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
         num_segments=sum(len(playback) for playback in playbacks),
         wall_time_s=time.perf_counter() - start,
         link_usage=link_usage,
+        fallback_sessions=fallback_sessions,
+        batch_sessions=len(specs),
     )
 
 
@@ -527,69 +578,120 @@ class FleetOrchestrator:
         :attr:`FleetResult.controller_states` or a saved checkpoint) restores
         per-user LingXi long-term state before the day starts.
         """
+        with obs.span("fleet.run_day"):
+            return self._run_day(
+                population,
+                library,
+                scenario=scenario,
+                abr_factory=abr_factory,
+                telemetry_path=telemetry_path,
+                controller_states=controller_states,
+                run_id=run_id,
+            )
+
+    def _run_day(
+        self,
+        population: UserPopulation,
+        library: VideoLibrary,
+        scenario: str | Scenario | None,
+        abr_factory: Callable[[UserProfile, int], ABRAlgorithm] | None,
+        telemetry_path: str | Path | None,
+        controller_states: dict[str, dict] | None,
+        run_id: str | None,
+    ) -> FleetResult:
         config = self.config
+        profiling = obs.enabled()
+        run_started = time.perf_counter()
         scenario = get_scenario(scenario)
         abr_factory = abr_factory or HybFleetFactory()
         run_id = run_id or f"fleet-{config.seed:08d}-s{config.num_shards}-d{config.day}"
         states = controller_states or {}
 
-        network = get_topology(config.network)
-        if network is not None:
-            network = scenario.network_for(network)
-            # Shard by edge link: a link's whole contention set lives in one
-            # shard, so fair-share coupling never crosses a shard boundary.
-            shard_profiles = network.shard_profiles(
-                population.profiles, config.num_shards
+        with obs.span("fleet.prepare"):
+            network = get_topology(config.network)
+            if network is not None:
+                network = scenario.network_for(network)
+                # Shard by edge link: a link's whole contention set lives in
+                # one shard, so fair-share coupling never crosses a shard
+                # boundary.
+                shard_profiles = network.shard_profiles(
+                    population.profiles, config.num_shards
+                )
+                shard_links = network.shard_links(config.num_shards)
+            else:
+                shard_profiles = population.shards(config.num_shards)
+                shard_links = [[] for _ in range(config.num_shards)]
+            seed_children = np.random.SeedSequence(config.seed).spawn(
+                config.num_shards
             )
-            shard_links = network.shard_links(config.num_shards)
-        else:
-            shard_profiles = population.shards(config.num_shards)
-            shard_links = [[] for _ in range(config.num_shards)]
-        seed_children = np.random.SeedSequence(config.seed).spawn(config.num_shards)
-        tasks = [
-            ShardTask(
-                run_id=run_id,
-                shard_index=index,
-                seed_seq=seed_children[index],
-                profiles=tuple(profiles),
-                scenario=scenario,
-                library=library,
-                abr_factory=abr_factory,
-                sessions_per_user=config.sessions_per_user,
-                trace_length=config.trace_length,
-                day=config.day,
-                session_config=config.session_config,
-                controller_states={
-                    p.user_id: states[p.user_id] for p in profiles if p.user_id in states
-                },
-                backend=config.backend,
-                spec_batched=config.spec_batched,
-                seed=config.seed,
-                network=network,
-                shard_link_ids=tuple(shard_links[index]),
-            )
-            for index, profiles in enumerate(shard_profiles)
-            if profiles
-        ]
+            tasks = [
+                ShardTask(
+                    run_id=run_id,
+                    shard_index=index,
+                    seed_seq=seed_children[index],
+                    profiles=tuple(profiles),
+                    scenario=scenario,
+                    library=library,
+                    abr_factory=abr_factory,
+                    sessions_per_user=config.sessions_per_user,
+                    trace_length=config.trace_length,
+                    day=config.day,
+                    session_config=config.session_config,
+                    controller_states={
+                        p.user_id: states[p.user_id]
+                        for p in profiles
+                        if p.user_id in states
+                    },
+                    backend=config.backend,
+                    spec_batched=config.spec_batched,
+                    seed=config.seed,
+                    network=network,
+                    shard_link_ids=tuple(shard_links[index]),
+                    profile=profiling,
+                )
+                for index, profiles in enumerate(shard_profiles)
+                if profiles
+            ]
 
         workers = self._resolve_workers()
         start = time.perf_counter()
-        if workers <= 1 or len(tasks) <= 1:
-            outputs = [_run_shard(task) for task in tasks]
-        else:
-            with multiprocessing.get_context().Pool(processes=workers) as pool:
-                outputs = pool.map(_run_shard, tasks)
+        with obs.span("fleet.run_shards"):
+            # Both execution paths emit the same span skeleton
+            # (``shard.spawn`` then ``shard.map``) so a profiled run's tree
+            # has the same structure at any shard/worker count; inline runs
+            # simply record ~zero spawn time.
+            pool = None
+            with obs.span("shard.spawn"):
+                if workers > 1 and len(tasks) > 1:
+                    pool = multiprocessing.get_context().Pool(processes=workers)
+            try:
+                with obs.span("shard.map"):
+                    if pool is None:
+                        outputs = [_run_shard(task) for task in tasks]
+                    else:
+                        outputs = pool.map(_run_shard, tasks)
+            finally:
+                if pool is not None:
+                    pool.terminate()
+            outputs.sort(key=lambda output: output.shard_index)
+            for output in outputs:
+                obs.merge_shard_snapshot(output.obs)
         wall_time = time.perf_counter() - start
 
-        outputs.sort(key=lambda output: output.shard_index)
-        sessions: list[SessionLog] = []
-        merged_states: dict[str, dict] = {}
-        for output in outputs:
-            sessions.extend(output.sessions)
-            merged_states.update(output.controller_states)
-        if not sessions:
-            raise ValueError("fleet run produced no sessions")
-        logs = LogCollection(sessions)
+        with obs.span("fleet.merge"):
+            sessions: list[SessionLog] = []
+            merged_states: dict[str, dict] = {}
+            for output in outputs:
+                sessions.extend(output.sessions)
+                merged_states.update(output.controller_states)
+            if not sessions:
+                raise ValueError("fleet run produced no sessions")
+            logs = LogCollection(sessions)
+        num_segments = sum(output.num_segments for output in outputs)
+        obs.counter_add("fleet.sessions", len(sessions))
+        obs.counter_add("fleet.segments", num_segments)
+        obs.counter_add("fleet.shards", len(outputs))
+        obs.gauge_max("fleet.workers", workers)
 
         result = FleetResult(
             run_id=run_id,
@@ -601,8 +703,30 @@ class FleetOrchestrator:
             wall_time_s=wall_time,
             telemetry_path=Path(telemetry_path) if telemetry_path is not None else None,
         )
+        if profiling and obs.enabled():
+            from repro.obs import build_run_report
+
+            result.obs_report = build_run_report(
+                run_id=run_id,
+                sessions=len(sessions),
+                segments=num_segments,
+                wall_time_s=time.perf_counter() - run_started,
+                fallback_sessions=result.total_fallback_sessions,
+                batch_sessions=result.total_batch_sessions,
+                per_shard=[
+                    {
+                        "shard": output.shard_index,
+                        "sessions": len(output.sessions),
+                        "segments": output.num_segments,
+                        "wall_time_s": output.wall_time_s,
+                        "fallback_sessions": output.fallback_sessions,
+                    }
+                    for output in outputs
+                ],
+            )
         if telemetry_path is not None:
-            write_fleet_telemetry(result, telemetry_path)
+            with obs.span("fleet.telemetry"):
+                write_fleet_telemetry(result, telemetry_path)
         return result
 
 
@@ -642,7 +766,19 @@ def write_fleet_telemetry(result: FleetResult, path: str | Path) -> Path:
                         "num_sessions": len(output.sessions),
                         "num_segments": output.num_segments,
                         "wall_time_s": output.wall_time_s,
+                        "fallback_sessions": output.fallback_sessions,
+                        "batch_sessions": output.batch_sessions,
                     },
+                )
+            )
+        if result.obs_report is not None:
+            writer.emit(
+                TelemetryEvent(
+                    run_id=result.run_id,
+                    shard=-1,
+                    user_id="",
+                    event="run_report",
+                    payload=result.obs_report,
                 )
             )
         writer.emit(
@@ -651,7 +787,16 @@ def write_fleet_telemetry(result: FleetResult, path: str | Path) -> Path:
                 shard=-1,
                 user_id="",
                 event="run_end",
-                payload=result.metrics.as_dict(),
+                payload={
+                    **result.metrics.as_dict(),
+                    # The backend fallback counters: "last" is this run's own
+                    # count (the most recent batch of every shard), "total"
+                    # the same sum — they diverge only on the in-process
+                    # backend object, which accumulates across runs.
+                    "last_fallback_sessions": result.total_fallback_sessions,
+                    "total_fallback_sessions": result.total_fallback_sessions,
+                    "total_batch_sessions": result.total_batch_sessions,
+                },
             )
         )
     return path

@@ -23,8 +23,14 @@ run.  Event types emitted by the orchestrator:
     link's usable capacity, the number of sessions actively downloading, and
     their total demand and allocation — the raw material for congestion
     analytics (:class:`~repro.analytics.logs.LinkUtilizationLog`).
+``run_report``
+    Profiled runs only (observability enabled): one per run, carrying the
+    run health report of :func:`repro.obs.build_run_report` — merged span
+    tree, metrics snapshot, throughput and peak RSS.
 ``run_end``
-    One per run; payload carries the fleet-level metrics.
+    One per run; payload carries the fleet-level metrics plus the backend
+    fallback counters (``last/total_fallback_sessions``,
+    ``total_batch_sessions``).
 
 The replay/loader API (:func:`read_events`, :func:`replay_log_collection`,
 :func:`replay_link_utilization`) feeds the existing analytics layer, so
@@ -253,3 +259,35 @@ def replay_log_collection(path: str | Path) -> LogCollection:
     if not saw_event:
         raise ValueError(f"no telemetry events found in {path}")
     return LogCollection(sessions)
+
+
+def replay_run_summary(path: str | Path, run_id: str | None = None) -> dict:
+    """The ``run_end`` payload of a run recorded in a telemetry file.
+
+    This is where the fleet-level metrics *and* the backend fallback
+    counters surface on replay.  ``run_id`` selects one run of a
+    multi-run file (a longitudinal campaign's day stream); by default the
+    last ``run_end`` wins.
+    """
+    summary: dict | None = None
+    for event in read_events(path):
+        if event.event == "run_end" and (run_id is None or event.run_id == run_id):
+            summary = event.payload
+    if summary is None:
+        raise ValueError(f"no run_end event found in {path}")
+    return summary
+
+
+def replay_run_report(path: str | Path, run_id: str | None = None) -> dict | None:
+    """The ``run_report`` payload recorded in a telemetry file, if any.
+
+    Returns ``None`` for unprofiled runs — absence of a health report is
+    normal, unlike absence of a ``run_end``.
+    """
+    report: dict | None = None
+    for event in read_events(path):
+        if event.event == "run_report" and (
+            run_id is None or event.run_id == run_id
+        ):
+            report = event.payload
+    return report

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
+
 
 @dataclass(frozen=True)
 class LinkUsageSample:
@@ -141,29 +143,39 @@ def allocate_step(
     """
     capacities = topology.capacities_at(step)
     allocations = np.zeros_like(np.asarray(demands, dtype=float))
-    for index, link in enumerate(topology.links):
-        rows = active & (link_index == index)
-        capacity = float(capacities[index])
-        count = int(np.count_nonzero(rows))
-        if count:
-            link_demands = demands[rows]
-            link_weights = None if weights is None else weights[rows]
-            link_alloc = max_min_fair(link_demands, capacity, link_weights)
-            allocations[rows] = link_alloc
-            demand_total = float(link_demands.sum())
-            allocated_total = float(link_alloc.sum())
-        else:
-            demand_total = 0.0
-            allocated_total = 0.0
-        if usage_out is not None:
-            usage_out.append(
-                LinkUsageSample(
-                    step=step,
-                    link_id=link.link_id,
-                    capacity_kbps=capacity,
-                    active_sessions=count,
-                    demand_kbps=demand_total,
-                    allocated_kbps=allocated_total,
+    profiling = obs.enabled()
+    congested = 0
+    with obs.span("allocator.water_fill"):
+        for index, link in enumerate(topology.links):
+            rows = active & (link_index == index)
+            capacity = float(capacities[index])
+            count = int(np.count_nonzero(rows))
+            if count:
+                link_demands = demands[rows]
+                link_weights = None if weights is None else weights[rows]
+                link_alloc = max_min_fair(link_demands, capacity, link_weights)
+                allocations[rows] = link_alloc
+                demand_total = float(link_demands.sum())
+                allocated_total = float(link_alloc.sum())
+                if profiling and demand_total > capacity:
+                    congested += 1
+            else:
+                demand_total = 0.0
+                allocated_total = 0.0
+            if usage_out is not None:
+                usage_out.append(
+                    LinkUsageSample(
+                        step=step,
+                        link_id=link.link_id,
+                        capacity_kbps=capacity,
+                        active_sessions=count,
+                        demand_kbps=demand_total,
+                        allocated_kbps=allocated_total,
+                    )
                 )
-            )
+    if profiling:
+        obs.counter_add("allocator.slots")
+        obs.counter_add("allocator.links", len(topology.links))
+        obs.counter_add("allocator.congested_links", congested)
+        obs.gauge_max("allocator.active_sessions", int(np.count_nonzero(active)))
     return allocations

@@ -1,0 +1,174 @@
+"""Process-local metrics registry: counters, gauges, wall-time histograms.
+
+The registry is the *numeric* half of the observability layer (the span
+tracer of :mod:`repro.obs.core` is the structural half).  Three metric
+families, chosen so that cross-process merging is deterministic:
+
+``counters``
+    Monotonic sums (sessions simulated, NN forwards, fallback sessions).
+    Merge = addition — associative and, for the integer counters the hot
+    paths emit, exactly order-independent.
+``gauges``
+    High-water marks (largest cohort, peak concurrent demand).  Merge =
+    ``max``, which is order-independent outright.
+``histograms``
+    Fixed-bucket distributions (wall times, NN batch sizes).  Every
+    histogram shares the same log-spaced bucket boundaries, so merge =
+    element-wise bucket addition plus min/max/total folding.
+
+Because the merge rules are per-key and order-independent for integral
+values (and performed in shard order for float sums), merging the shard
+registries of a fleet run yields the same snapshot no matter how many
+worker processes executed the shards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Shared histogram bucket upper bounds.  Log-spaced to cover both
+#: microsecond-scale kernel timings and multi-minute campaign phases (values
+#: in whatever unit the caller observes — seconds for ``*_s`` histograms,
+#: plain counts for batch-size histograms).  Frozen: changing them changes
+#: every merged snapshot.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    float(f"{10.0 ** exponent:g}") for exponent in range(-6, 7)
+)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with exact count/total/min/max sidecars."""
+
+    counts: list[int] = field(
+        default_factory=lambda: [0] * (len(BUCKET_BOUNDS) + 1)
+    )
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        index = 0
+        for bound in BUCKET_BOUNDS:
+            if value <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bucket-wise)."""
+        for index, value in enumerate(other.counts):
+            self.counts[index] += value
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_payload(self) -> dict:
+        """JSON form (infinities encode as ``None`` for empty histograms)."""
+        return {
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Histogram":
+        """Inverse of :meth:`as_payload`."""
+        histogram = cls(
+            counts=[int(v) for v in payload["counts"]],
+            count=int(payload["count"]),
+            total=float(payload["total"]),
+        )
+        histogram.min = math.inf if payload["min"] is None else float(payload["min"])
+        histogram.max = -math.inf if payload["max"] is None else float(payload["max"])
+        return histogram
+
+
+class MetricsRegistry:
+    """One process's counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int | float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter_add(self, name: str, value: int | float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise gauge ``name`` to ``value`` if it is a new high-water mark."""
+        value = float(value)
+        current = self.gauges.get(name)
+        if current is None or value > current:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram()
+            self.histograms[name] = histogram
+        histogram.observe(value)
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its snapshot payload) into this one.
+
+        Counters add, gauges take the max, histograms merge bucket-wise —
+        all per-key, so the merged registry does not depend on how the
+        observations were partitioned across the sources (float counter
+        sums are accumulated in call order; merge shards in shard order).
+        """
+        if isinstance(other, dict):
+            other = MetricsRegistry.from_payload(other)
+        for name, value in other.counters.items():
+            self.counter_add(name, value)
+        for name, value in other.gauges.items():
+            self.gauge_max(name, value)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = Histogram()
+                self.histograms[name] = mine
+            mine.merge(histogram)
+
+    def as_payload(self) -> dict:
+        """JSON snapshot with deterministically sorted keys."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "gauges": {name: self.gauges[name] for name in sorted(self.gauges)},
+            "histograms": {
+                name: self.histograms[name].as_payload()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "MetricsRegistry":
+        """Inverse of :meth:`as_payload`."""
+        registry = cls()
+        for name, value in payload.get("counters", {}).items():
+            registry.counters[name] = value
+        for name, value in payload.get("gauges", {}).items():
+            registry.gauges[name] = float(value)
+        for name, raw in payload.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_payload(raw)
+        return registry

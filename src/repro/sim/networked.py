@@ -26,6 +26,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.net.allocator import LinkUsageSample, allocate_step
 from repro.net.topology import NetworkTopology
 from repro.sim.backend import SessionSpec, resolve_session_seeds, session_rng
@@ -217,20 +218,23 @@ def run_networked_scalar(
     demand = np.zeros(num_sessions)
     horizon = int(ends.max())
 
-    for slot in range(horizon):
-        runnable = alive & (slot < ends)
-        if not runnable.any():
-            break
-        active = runnable & (starts <= slot)
-        demand[:] = 0.0
-        for index in np.flatnonzero(active):
-            demand[index] = sessions[index].demand_at(slot)
-        allocations = allocate_step(
-            network, slot, link_index, demand, active, weights, usage_out=link_usage
-        )
-        # Event order: (slot, batch index) ascending.
-        for index in np.flatnonzero(active):
-            if not sessions[index].step(slot, float(allocations[index])):
-                alive[index] = False
+    with obs.span("networked.run_scalar"):
+        for slot in range(horizon):
+            runnable = alive & (slot < ends)
+            if not runnable.any():
+                break
+            active = runnable & (starts <= slot)
+            obs.counter_add("networked.slots")
+            demand[:] = 0.0
+            for index in np.flatnonzero(active):
+                demand[index] = sessions[index].demand_at(slot)
+            allocations = allocate_step(
+                network, slot, link_index, demand, active, weights, usage_out=link_usage
+            )
+            # Event order: (slot, batch index) ascending.
+            with obs.span("networked.session_step"):
+                for index in np.flatnonzero(active):
+                    if not sessions[index].step(slot, float(allocations[index])):
+                        alive[index] = False
 
     return [session.playback for session in sessions]

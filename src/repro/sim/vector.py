@@ -49,6 +49,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import obs
 from repro.net.allocator import allocate_step
 from repro.sim.backend import (
     ScalarBackend,
@@ -222,6 +223,8 @@ class VectorBackend(SimBackend):
         self.last_fallback_sessions = fallback_sessions
         self.last_batch_sessions = batch_sessions
         self.total_fallback_sessions += fallback_sessions
+        obs.counter_add("vector.fallback_sessions", fallback_sessions)
+        obs.counter_add("vector.batch_sessions", batch_sessions)
 
     def run_batch(
         self,
@@ -403,6 +406,14 @@ class VectorBackend(SimBackend):
         self, specs: list[SessionSpec], config: SessionConfig
     ) -> list[PlaybackTrace]:
         """Advance one homogeneous group (same ABR/exit types, same ladder)."""
+        obs.counter_add("vector.cohorts")
+        obs.observe("vector.cohort_sessions", len(specs))
+        with obs.span("vector.run_group"):
+            return self._run_group_impl(specs, config)
+
+    def _run_group_impl(
+        self, specs: list[SessionSpec], config: SessionConfig
+    ) -> list[PlaybackTrace]:
         num_sessions = len(specs)
         first_video = specs[0].video
         segment_duration = float(first_video.segment_duration)
@@ -481,117 +492,118 @@ class VectorBackend(SimBackend):
             if not active.any():
                 break
 
-            # Bandwidth-window statistics *before* observing this step's
-            # throughput — columns [k-8, k), exactly the scalar model's window.
-            if k == 0:
-                window = bandwidth[:, 0:0]
-                mean = np.full(num_sessions, _PRIOR_MEAN)
-            else:
-                window = bandwidth[:, max(0, k - _WINDOW) : k]
-                mean = window.mean(axis=1)
-            if k < 2:
-                std = np.full(num_sessions, _PRIOR_STD)
-            else:
-                std = np.maximum(np.std(window, axis=1, ddof=1), 1e-6)
-            buffer_cap = dynamic_buffer_cap(
-                mean, std, base_cap=config.base_buffer_cap
-            )
-
-            context = VectorStepContext(
-                k=k,
-                buffer=buffer,
-                buffer_cap=buffer_cap,
-                last_level=last_level,
-                segment_sizes=sizes[:, k, :],
-                throughput_window=window,
-                bandwidth_mean=mean,
-                bandwidth_std=std,
-                bitrates=bitrates,
-                segment_duration=segment_duration,
-            )
-            levels = np.asarray(abr_kernel(context), dtype=int)
-            if levels.min() < 0 or levels.max() >= num_levels:
-                raise ValueError(
-                    f"vector ABR kernel returned levels outside "
-                    f"[0, {num_levels}) at step {k}"
+            with obs.span("vector.step"):
+                # Bandwidth-window statistics *before* observing this step's
+                # throughput — columns [k-8, k), exactly the scalar model's window.
+                if k == 0:
+                    window = bandwidth[:, 0:0]
+                    mean = np.full(num_sessions, _PRIOR_MEAN)
+                else:
+                    window = bandwidth[:, max(0, k - _WINDOW) : k]
+                    mean = window.mean(axis=1)
+                if k < 2:
+                    std = np.full(num_sessions, _PRIOR_STD)
+                else:
+                    std = np.maximum(np.std(window, axis=1, ddof=1), 1e-6)
+                buffer_cap = dynamic_buffer_cap(
+                    mean, std, base_cap=config.base_buffer_cap
                 )
 
-            # Equation 3, batched (same operation order as PlayerEnvironment.step).
-            bandwidth_k = bandwidth[:, k]
-            size = sizes[:, k, :][row_index, levels]
-            download = size / bandwidth_k
-            if k == 0:
-                stall = np.where(
-                    buffer == 0.0, 0.0, np.maximum(download - buffer, 0.0)
-                )
-            else:
-                stall = np.maximum(download - buffer, 0.0)
-            drained = np.maximum(buffer - download, 0.0)
-            unclipped = drained + segment_duration
-            overflow = np.maximum(unclipped - buffer_cap, 0.0)
-            wait = overflow + config.rtt
-            buffer_after = np.maximum(unclipped - overflow, 0.0)
-            buffer_after = np.minimum(buffer_after, buffer_cap)
-
-            stalled = stall > 1e-12
-            cumulative_stall = np.where(
-                active, cumulative_stall + stall, cumulative_stall
-            )
-            stall_count = stall_count + (active & stalled)
-
-            if has_exit:
-                view = ExitStepView(
+                context = VectorStepContext(
                     k=k,
-                    level=levels,
-                    previous_level=last_level,
-                    stall_time=stall,
-                    cumulative_stall_time=cumulative_stall,
-                    stall_count=stall_count,
-                    watch_time=(k + 1) * segment_duration,
-                    buffer=buffer_after,
-                    throughput=bandwidth_k,
-                    active=active,
-                    stalled=stalled,
-                )
-                probabilities = np.asarray(exit_kernel(view), dtype=float)
-                # NaN must fail this check too (the scalar engine's
-                # `not 0.0 <= p <= 1.0` rejects it), hence the negated form.
-                if np.any(active & ~((probabilities >= 0.0) & (probabilities <= 1.0))):
-                    raise ValueError("exit probability must be in [0, 1]")
-                exits = active & (uniforms[:, k] < probabilities)
-                probability_rec[:, k] = probabilities
-            else:
-                exits = np.zeros(num_sessions, dtype=bool)
-
-            level_rec[:, k] = levels
-            size_rec[:, k] = size
-            download_rec[:, k] = download
-            stall_rec[:, k] = stall
-            wait_rec[:, k] = wait
-            buffer_before_rec[:, k] = buffer
-            buffer_after_rec[:, k] = buffer_after
-            cumulative_rec[:, k] = cumulative_stall
-            stall_count_rec[:, k] = stall_count
-
-            if host is not None:
-                # Same point in the segment lifecycle as the scalar engine's
-                # ``observe`` hook: after the exit draw, before the next
-                # segment's decision — parameter adjustments land on k+1.
-                host.observe_step(
-                    active=active,
-                    levels=levels,
-                    stall=stall,
-                    throughput=bandwidth_k,
-                    buffer_after=buffer_after,
-                    exits=exits,
+                    buffer=buffer,
+                    buffer_cap=buffer_cap,
+                    last_level=last_level,
+                    segment_sizes=sizes[:, k, :],
+                    throughput_window=window,
+                    bandwidth_mean=mean,
+                    bandwidth_std=std,
                     bitrates=bitrates,
+                    segment_duration=segment_duration,
                 )
+                levels = np.asarray(abr_kernel(context), dtype=int)
+                if levels.min() < 0 or levels.max() >= num_levels:
+                    raise ValueError(
+                        f"vector ABR kernel returned levels outside "
+                        f"[0, {num_levels}) at step {k}"
+                    )
 
-            steps_taken[active] = k + 1
-            exited_early |= exits
-            alive &= ~exits
-            buffer = np.where(active, buffer_after, buffer)
-            last_level = np.where(active, levels, last_level)
+                # Equation 3, batched (same operation order as PlayerEnvironment.step).
+                bandwidth_k = bandwidth[:, k]
+                size = sizes[:, k, :][row_index, levels]
+                download = size / bandwidth_k
+                if k == 0:
+                    stall = np.where(
+                        buffer == 0.0, 0.0, np.maximum(download - buffer, 0.0)
+                    )
+                else:
+                    stall = np.maximum(download - buffer, 0.0)
+                drained = np.maximum(buffer - download, 0.0)
+                unclipped = drained + segment_duration
+                overflow = np.maximum(unclipped - buffer_cap, 0.0)
+                wait = overflow + config.rtt
+                buffer_after = np.maximum(unclipped - overflow, 0.0)
+                buffer_after = np.minimum(buffer_after, buffer_cap)
+
+                stalled = stall > 1e-12
+                cumulative_stall = np.where(
+                    active, cumulative_stall + stall, cumulative_stall
+                )
+                stall_count = stall_count + (active & stalled)
+
+                if has_exit:
+                    view = ExitStepView(
+                        k=k,
+                        level=levels,
+                        previous_level=last_level,
+                        stall_time=stall,
+                        cumulative_stall_time=cumulative_stall,
+                        stall_count=stall_count,
+                        watch_time=(k + 1) * segment_duration,
+                        buffer=buffer_after,
+                        throughput=bandwidth_k,
+                        active=active,
+                        stalled=stalled,
+                    )
+                    probabilities = np.asarray(exit_kernel(view), dtype=float)
+                    # NaN must fail this check too (the scalar engine's
+                    # `not 0.0 <= p <= 1.0` rejects it), hence the negated form.
+                    if np.any(active & ~((probabilities >= 0.0) & (probabilities <= 1.0))):
+                        raise ValueError("exit probability must be in [0, 1]")
+                    exits = active & (uniforms[:, k] < probabilities)
+                    probability_rec[:, k] = probabilities
+                else:
+                    exits = np.zeros(num_sessions, dtype=bool)
+
+                level_rec[:, k] = levels
+                size_rec[:, k] = size
+                download_rec[:, k] = download
+                stall_rec[:, k] = stall
+                wait_rec[:, k] = wait
+                buffer_before_rec[:, k] = buffer
+                buffer_after_rec[:, k] = buffer_after
+                cumulative_rec[:, k] = cumulative_stall
+                stall_count_rec[:, k] = stall_count
+
+                if host is not None:
+                    # Same point in the segment lifecycle as the scalar engine's
+                    # ``observe`` hook: after the exit draw, before the next
+                    # segment's decision — parameter adjustments land on k+1.
+                    host.observe_step(
+                        active=active,
+                        levels=levels,
+                        stall=stall,
+                        throughput=bandwidth_k,
+                        buffer_after=buffer_after,
+                        exits=exits,
+                        bitrates=bitrates,
+                    )
+
+                steps_taken[active] = k + 1
+                exited_early |= exits
+                alive &= ~exits
+                buffer = np.where(active, buffer_after, buffer)
+                last_level = np.where(active, levels, last_level)
 
         if host is not None:
             host.finalize()
@@ -709,6 +721,7 @@ class VectorBackend(SimBackend):
                     active_global[index] = True
             if not runnable_any:
                 break
+            obs.counter_add("vector.net_slots")
             allocations = allocate_step(
                 network,
                 k,
@@ -718,13 +731,17 @@ class VectorBackend(SimBackend):
                 weights,
                 usage_out=link_usage,
             )
-            for group, j, active in stepping:
-                self._step_net_group(
-                    group, j, active, allocations[group.indices], config
-                )
-            for index in live_stepping:
-                if not live[index].step(k, float(allocations[index])):
-                    live_alive[index] = False
+            if stepping:
+                with obs.span("vector.step"):
+                    for group, j, active in stepping:
+                        self._step_net_group(
+                            group, j, active, allocations[group.indices], config
+                        )
+            if live_stepping:
+                with obs.span("networked.session_step"):
+                    for index in live_stepping:
+                        if not live[index].step(k, float(allocations[index])):
+                            live_alive[index] = False
 
         results: list[PlaybackTrace | None] = [None] * num_sessions
         for index in scalar_order:

@@ -1,0 +1,319 @@
+"""Observability layer: registry merging, span trees, and trace neutrality.
+
+The hard requirement on ``repro.obs`` is that it is *provably inert*: every
+simulated byte must be bit-exact whether profiling is enabled or disabled
+(spans read ``time.perf_counter`` and nothing else — never the simulation
+RNG).  This suite pins that, plus the deterministic cross-process merge
+semantics (counters sum, gauges max, histograms bucket-wise) and the
+structural identity of the span tree across shard/worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from test_golden_traces import GOLDEN_CASES, _roundtrip, _run_case
+
+from repro import obs
+from repro.fleet import (
+    FleetConfig,
+    FleetOrchestrator,
+    LongitudinalCampaign,
+    LongitudinalConfig,
+    replay_run_report,
+    replay_run_summary,
+)
+from repro.obs.registry import Histogram
+from repro.sim.video import VideoLibrary
+from repro.users.population import UserPopulation
+
+
+@pytest.fixture(autouse=True)
+def obs_disabled_after():
+    """No test may leak an enabled collector into the rest of the suite."""
+    yield
+    obs.disable()
+
+
+@pytest.fixture(scope="module")
+def population() -> UserPopulation:
+    return UserPopulation.generate(16, seed=5, bandwidth_median_kbps=2500.0)
+
+
+@pytest.fixture(scope="module")
+def library() -> VideoLibrary:
+    return VideoLibrary(num_videos=3, mean_duration=30.0, std_duration=8.0, seed=2)
+
+
+def _run_fleet(population, library, *, shards, workers=0, profile=False,
+               telemetry=None, **overrides):
+    if profile:
+        obs.enable()
+    try:
+        config = FleetConfig(
+            num_shards=shards,
+            num_workers=workers,
+            sessions_per_user=2,
+            trace_length=40,
+            seed=9,
+            backend="vector",
+            network="dual_isp",
+            **overrides,
+        )
+        return FleetOrchestrator(config).run(
+            population, library, telemetry_path=telemetry
+        )
+    finally:
+        obs.disable()
+
+
+def _session_map(result):
+    return {
+        (log.user_id, log.session_index): (
+            log.trace.exited_early,
+            tuple(log.trace.records),
+        )
+        for log in result.logs
+    }
+
+
+class TestRegistry:
+    def test_counters_sum_gauges_max_histograms_bucketwise(self):
+        a, b = obs.MetricsRegistry(), obs.MetricsRegistry()
+        a.counter_add("x", 2)
+        b.counter_add("x", 3)
+        a.gauge_max("g", 5.0)
+        b.gauge_max("g", 4.0)
+        a.observe("h", 0.5)
+        b.observe("h", 2.0)
+        a.merge(b)
+        payload = a.as_payload()
+        assert payload["counters"]["x"] == 5
+        assert payload["gauges"]["g"] == 5.0
+        assert payload["histograms"]["h"]["count"] == 2
+        assert payload["histograms"]["h"]["total"] == 2.5
+        assert payload["histograms"]["h"]["min"] == 0.5
+        assert payload["histograms"]["h"]["max"] == 2.0
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_merge_is_partition_invariant(self, num_shards):
+        """Merging k shard registries gives the same payload for every k."""
+        # dyadic values: their float sums are exact in any order, so the
+        # payload comparison below is bit-exact rather than approximate
+        observations = [(i % 5, 0.25 * (i + 1)) for i in range(40)]
+
+        shards = [obs.MetricsRegistry() for _ in range(num_shards)]
+        for i, (bucket, value) in enumerate(observations):
+            registry = shards[i % num_shards]
+            registry.counter_add(f"c{bucket}")
+            registry.gauge_max("peak", value)
+            registry.observe("latency", value)
+
+        merged = obs.MetricsRegistry()
+        for shard in shards:
+            # merge accepts live registries and serialised payloads alike
+            # (the orchestrator receives payloads from pool workers)
+            merged.merge(shard.as_payload() if num_shards % 2 else shard)
+
+        reference = obs.MetricsRegistry()
+        for bucket, value in observations:
+            reference.counter_add(f"c{bucket}")
+            reference.gauge_max("peak", value)
+            reference.observe("latency", value)
+        assert merged.as_payload() == reference.as_payload()
+
+    def test_histogram_payload_roundtrip(self):
+        h = Histogram()
+        for value in (1e-7, 0.003, 4.2, 1e7):
+            h.observe(value)
+        assert Histogram.from_payload(h.as_payload()).as_payload() == h.as_payload()
+        empty = Histogram()
+        assert empty.as_payload()["min"] is None
+        assert empty.as_payload()["max"] is None
+
+
+class TestSpans:
+    def test_span_tree_shape_and_helpers(self):
+        with obs.collect() as collector:
+            with obs.span("outer"):
+                for _ in range(3):
+                    with obs.span("inner"):
+                        pass
+                with obs.span("other"):
+                    pass
+        snapshot = collector.snapshot()
+        assert obs.span_names(snapshot["spans"]) == [
+            "outer",
+            "outer/inner",
+            "outer/other",
+        ]
+        inner = obs.find_span(snapshot["spans"], "outer/inner")
+        assert inner["count"] == 3
+        assert obs.find_span(snapshot["spans"], "outer/missing") is None
+        outer = obs.find_span(snapshot["spans"], "outer")
+        assert 0.0 <= obs.span_coverage(outer) <= 1.0
+
+    def test_merge_shard_snapshot_grafts_under_open_span(self):
+        with obs.collect() as worker:
+            with obs.span("shard.run"):
+                obs.counter_add("work", 7)
+        shard_snapshot = worker.snapshot()
+
+        with obs.collect() as parent:
+            with obs.span("fleet.run_shards"):
+                obs.merge_shard_snapshot(shard_snapshot)
+            snapshot = parent.snapshot()
+        assert obs.span_names(snapshot["spans"]) == [
+            "fleet.run_shards",
+            "fleet.run_shards/shard.run",
+        ]
+        assert snapshot["metrics"]["counters"]["work"] == 7
+
+    def test_disabled_is_inert_noop(self):
+        assert not obs.enabled()
+        assert obs.active() is None
+        noop = obs.span("anything")
+        assert noop is obs.span("anything else")  # shared singleton, no alloc
+        with noop:
+            pass
+        obs.counter_add("ignored")
+        obs.gauge_max("ignored", 1.0)
+        obs.observe("ignored", 1.0)
+        with obs.collect() as collector:
+            obs.counter_add("seen")
+        assert collector.snapshot()["metrics"]["counters"] == {"seen": 1}
+        assert not obs.enabled()
+
+    def test_disabled_span_overhead_smoke(self):
+        """No-op spans must be cheap; generous bound to stay CI-safe."""
+        import time
+
+        start = time.perf_counter()
+        for _ in range(100_000):
+            with obs.span("hot"):
+                pass
+        elapsed = time.perf_counter() - start
+        assert elapsed < 2.0
+
+
+class TestFleetProfile:
+    def test_profiled_run_is_bit_exact_vs_unprofiled(self, population, library):
+        plain = _run_fleet(population, library, shards=2)
+        profiled = _run_fleet(population, library, shards=2, profile=True)
+        assert _session_map(plain) == _session_map(profiled)
+        assert plain.metrics.as_dict() == profiled.metrics.as_dict()
+        assert plain.obs_report is None
+        assert profiled.obs_report is not None
+
+    def test_span_structure_identical_across_shard_and_worker_counts(
+        self, population, library
+    ):
+        reports = [
+            _run_fleet(population, library, shards=shards, workers=workers,
+                       profile=True).obs_report
+            for shards, workers in [(1, 0), (2, 0), (2, 2), (4, 2)]
+        ]
+        names = [obs.span_names(report["spans"]) for report in reports]
+        assert names[0] == names[1] == names[2] == names[3]
+        # the pooled and inline paths emit the same skeleton
+        assert "fleet.run_day/fleet.run_shards/shard.spawn" in names[0]
+        assert "fleet.run_day/fleet.run_shards/shard.run/shard.run_batch" in names[0]
+
+    def test_report_contents_and_coverage(self, population, library):
+        result = _run_fleet(population, library, shards=2, workers=2, profile=True)
+        report = result.obs_report
+        assert report["version"] == obs.REPORT_VERSION
+        assert report["sessions"] == result.metrics.num_sessions
+        assert report["sessions"] == sum(
+            s["sessions"] for s in report["per_shard"]
+        )
+        assert report["span_coverage"] >= 0.9
+        assert report["fallback"]["total_batch_sessions"] == report["sessions"]
+        counters = report["metrics"]["counters"]
+        assert counters["fleet.shards"] == 2
+        assert counters["allocator.slots"] > 0
+        assert report["peak_rss_bytes"] is None or report["peak_rss_bytes"] > 0
+
+    def test_run_report_and_fallback_fields_replay_from_telemetry(
+        self, population, library, tmp_path
+    ):
+        telemetry = tmp_path / "telemetry.jsonl"
+        result = _run_fleet(
+            population, library, shards=2, profile=True, telemetry=telemetry
+        )
+        summary = replay_run_summary(telemetry)
+        assert summary["total_fallback_sessions"] == result.total_fallback_sessions
+        assert summary["total_batch_sessions"] == result.total_batch_sessions
+        assert summary["last_fallback_sessions"] == result.total_fallback_sessions
+        assert summary["num_sessions"] == result.metrics.num_sessions
+        replayed = replay_run_report(telemetry)
+        assert replayed == json.loads(json.dumps(result.obs_report))
+
+    def test_unprofiled_telemetry_has_no_run_report(
+        self, population, library, tmp_path
+    ):
+        telemetry = tmp_path / "telemetry.jsonl"
+        result = _run_fleet(population, library, shards=2, telemetry=telemetry)
+        assert replay_run_report(telemetry) is None
+        summary = replay_run_summary(telemetry)
+        assert summary["total_batch_sessions"] == result.total_batch_sessions
+
+
+class TestLongitudinalProfile:
+    def _campaign(self, population, library):
+        config = LongitudinalConfig(
+            days=2,
+            seed=11,
+            num_shards=2,
+            num_workers=0,
+            sessions_per_user=2,
+            trace_length=40,
+            backend="vector",
+            network="dual_isp",
+        )
+        return LongitudinalCampaign(config).run(population, library)
+
+    def test_campaign_bit_exact_and_span_shape(self, population, library):
+        plain = self._campaign(population, library)
+        obs.enable()
+        try:
+            profiled = self._campaign(population, library)
+            report = obs.build_run_report(run_id="campaign")
+        finally:
+            obs.disable()
+
+        def day_map(result):
+            return {
+                (day.day, log.user_id, log.session_index): tuple(log.trace.records)
+                for day in result.days
+                for log in day.result.logs
+            }
+
+        assert day_map(plain) == day_map(profiled)
+
+        names = set(obs.span_names(report["spans"]))
+        assert "campaign.run/campaign.day" in names
+        assert "campaign.run/campaign.day/fleet.run_day" in names
+        assert (
+            "campaign.run/campaign.day/fleet.run_day/fleet.run_shards/"
+            "shard.run/shard.run_batch" in names
+        )
+        assert "campaign.run/campaign.day/campaign.retention" in names
+        day = obs.find_span(report["spans"], "campaign.run/campaign.day")
+        assert day["count"] == 2  # days merge by name into one node
+        assert report["span_coverage"] >= 0.9
+
+
+class TestGoldenTraceNeutrality:
+    @pytest.mark.parametrize("case", ["hyb", "bola_networked"])
+    @pytest.mark.parametrize("backend_name", ["scalar", "vector"])
+    def test_golden_case_bit_exact_with_obs_enabled(self, case, backend_name):
+        assert case in GOLDEN_CASES
+        baseline = _roundtrip(_run_case(case, backend_name))
+        obs.enable()
+        try:
+            profiled = _roundtrip(_run_case(case, backend_name))
+        finally:
+            obs.disable()
+        assert profiled == baseline
