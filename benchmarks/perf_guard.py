@@ -14,6 +14,16 @@ must stay within ``threshold`` of the baseline (higher is better; the guard
 only fails on regressions, never on improvements).  Rows or files present on
 only one side are reported but never fail the guard, so new benchmarks can
 land before their baselines do.
+
+The guard also enforces a *scaling-efficiency* rule on the fresh fleet
+throughput documents (disable with ``--no-scaling-check``): the warm-pool
+4-shard run must not be slower than the warm-pool 1-shard run.  If
+multiprocess dispatch has any headroom at all, four workers must at least
+break even against the inline path; a 4-shard run that loses to 1 shard
+means the pool is re-paying a per-run cost it was built to amortise.  The
+rule is strict only when the *measuring* host has 4+ cores (recorded in the
+document's ``host.cpu_count``) — on smaller hosts four workers time-slice
+one core and the comparison is noise, so it degrades to a note.
 """
 
 from __future__ import annotations
@@ -116,8 +126,51 @@ def compare_documents(
     return failures, notes
 
 
+def _warm_sessions_per_second(document: dict) -> float | None:
+    """The warm-mode ``sessions_per_second`` of a fleet throughput document."""
+    for _, rows in iter_row_groups(document.get("results")):
+        for row in rows:
+            if row.get("mode") == "warm" and "sessions_per_second" in row:
+                return float(row["sessions_per_second"])
+    return None
+
+
+def check_scaling(current_dir: Path) -> tuple[list[str], list[str]]:
+    """Scaling-efficiency rule: warm 4-shard must not lose to warm 1-shard.
+
+    Returns ``(failures, notes)``.  The comparison is strict only when the
+    measuring host recorded 4+ cores; on smaller hosts (or when either
+    document/row is missing) it reports a note instead.
+    """
+    documents = {}
+    for shards in (1, 4):
+        path = current_dir / f"BENCH_fleet_throughput_{shards}shard.json"
+        if not path.is_file():
+            return [], [f"scaling: {path.name} not measured; skipped"]
+        documents[shards] = json.loads(path.read_text())
+    single = _warm_sessions_per_second(documents[1])
+    pooled = _warm_sessions_per_second(documents[4])
+    if single is None or pooled is None:
+        return [], ["scaling: no warm rows in fleet throughput documents; skipped"]
+    cpu_count = documents[4].get("host", {}).get("cpu_count") or 0
+    line = (
+        f"scaling: warm 4-shard {pooled:.2f} sessions/s vs "
+        f"warm 1-shard {single:.2f} sessions/s "
+        f"({pooled / single:.2f}x, host cpu_count={cpu_count})"
+    )
+    if pooled >= single:
+        return [], [line]
+    if cpu_count < 4:
+        return [], [line + " — host has <4 cores, not enforced"]
+    return [line + " — pooled dispatch slower than inline"], []
+
+
 def run_guard(
-    current_dir: Path, baseline_dir: Path, threshold: float, verbose: bool = True
+    current_dir: Path,
+    baseline_dir: Path,
+    threshold: float,
+    verbose: bool = True,
+    scaling: bool = True,
 ) -> int:
     """Compare every BENCH_*.json pair; returns the number of regressions."""
     baseline_files = {p.name: p for p in sorted(baseline_dir.glob("BENCH_*.json"))}
@@ -140,6 +193,15 @@ def run_guard(
             current.get("bench", name), current, baseline, threshold
         )
         compared += 1
+        if verbose:
+            for note in notes:
+                print(f"  ok   {note}")
+        for failure in failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+        all_failures.extend(failures)
+
+    if scaling:
+        failures, notes = check_scaling(current_dir)
         if verbose:
             for note in notes:
                 print(f"  ok   {note}")
@@ -175,9 +237,18 @@ def main(argv: list[str] | None = None) -> None:
         help="allowed fractional throughput regression (default: 0.30)",
     )
     parser.add_argument("--quiet", action="store_true", help="only print failures")
+    parser.add_argument(
+        "--no-scaling-check",
+        action="store_true",
+        help="skip the warm 4-shard vs 1-shard scaling-efficiency rule",
+    )
     args = parser.parse_args(argv)
     regressions = run_guard(
-        args.current, args.baseline, args.threshold, verbose=not args.quiet
+        args.current,
+        args.baseline,
+        args.threshold,
+        verbose=not args.quiet,
+        scaling=not args.no_scaling_check,
     )
     if regressions:
         raise SystemExit(1)

@@ -12,6 +12,9 @@ platform simulator:
   Monte-Carlo hot path.
 * :mod:`repro.fleet.scenarios` — the workload registry (steady state, flash
   crowd, regional degradation, device mix, plus user-registered ones).
+* :mod:`repro.fleet.pool` — persistent shared-memory worker pool:
+  long-lived forked workers, descriptor dispatch through a worker-side
+  object cache, zero-copy columnar results in shared-memory arenas.
 * :mod:`repro.fleet.telemetry` — JSONL event pipeline with a lossless
   replay/loader API.
 * :mod:`repro.fleet.checkpoint` — per-user controller-state checkpointing for
@@ -48,6 +51,16 @@ from repro.fleet.longitudinal import (
     run_longitudinal_campaign,
     shifting_device_mix,
 )
+from repro.fleet.pool import (
+    CacheRef,
+    PoolError,
+    ShardDescriptor,
+    ShardTaskError,
+    WorkerCrashError,
+    WorkerPool,
+    shared_pool,
+    shutdown_shared_pools,
+)
 from repro.fleet.orchestrator import (
     FleetConfig,
     FleetMetrics,
@@ -77,6 +90,9 @@ from repro.fleet.scenarios import (
 from repro.fleet.telemetry import (
     TelemetryEvent,
     TelemetryWriter,
+    encode_events,
+    encode_shard_events,
+    iter_shard_events,
     link_utilization_event,
     read_events,
     replay_link_usage,
@@ -88,6 +104,7 @@ from repro.fleet.telemetry import (
     session_event,
     session_from_payload,
     session_payload,
+    shard_summary_event,
 )
 
 __all__ = [
@@ -115,6 +132,18 @@ __all__ = [
     "run_ab_campaign",
     "run_longitudinal_campaign",
     "shifting_device_mix",
+    "CacheRef",
+    "PoolError",
+    "ShardDescriptor",
+    "ShardTaskError",
+    "WorkerCrashError",
+    "WorkerPool",
+    "shared_pool",
+    "shutdown_shared_pools",
+    "encode_events",
+    "encode_shard_events",
+    "iter_shard_events",
+    "shard_summary_event",
     "FleetConfig",
     "FleetMetrics",
     "FleetOrchestrator",

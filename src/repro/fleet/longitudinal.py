@@ -36,6 +36,7 @@ of the Figure 12 difference-in-differences protocol.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Mapping, Sequence
@@ -54,6 +55,7 @@ from repro.fleet.orchestrator import (
     FleetResult,
     write_fleet_telemetry,
 )
+from repro.fleet.pool import shared_pool
 from repro.fleet.scenarios import DeviceMixScenario, Scenario, get_scenario
 from repro.fleet.telemetry import TelemetryEvent, TelemetryWriter, read_events
 from repro.net.topology import (
@@ -527,6 +529,16 @@ class LongitudinalCampaign:
         base_topology = get_topology(config.network)
         drift = config.drift
 
+        # One persistent pool for the whole campaign (the shared pool also
+        # outlives it, so back-to-back campaigns — e.g. both arms of an A/B —
+        # reuse the same workers and cached library/factory objects).  Day
+        # populations and controller states still travel per day: they are
+        # genuinely new data.
+        workers = config.num_workers
+        if workers is None:
+            workers = min(config.num_shards, os.cpu_count() or 1)
+        fleet_pool = shared_pool(workers) if workers > 1 and config.num_shards > 1 else None
+
         writer: TelemetryWriter | None = None
         if telemetry_dir is not None:
             # A resumed campaign appends: the pre-crash retention/day_summary
@@ -608,7 +620,7 @@ class LongitudinalCampaign:
                         else None
                     )
                     if arrivals:
-                        result = FleetOrchestrator(fleet_config).run(
+                        result = FleetOrchestrator(fleet_config, pool=fleet_pool).run(
                             UserPopulation(arrivals),
                             library,
                             scenario=scen,

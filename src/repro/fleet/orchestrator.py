@@ -4,10 +4,11 @@
 simulator: a :class:`~repro.users.population.UserPopulation` is split into
 ``num_shards`` deterministic shards, each shard simulates all of its users'
 sessions for one simulated day (scenario-shaped traffic, per-user ABR state,
-per-user exit behaviour), and the shards run concurrently on a
-``multiprocessing`` pool.  Results come back in shard order, so fleet metrics
-are identical for a given ``(seed, num_shards)`` no matter how many worker
-processes execute the shards — including zero (inline execution).
+per-user exit behaviour), and the shards run concurrently on the persistent
+shared-memory worker pool of :mod:`repro.fleet.pool`.  Results come back in
+shard order, so fleet metrics are identical for a given ``(seed,
+num_shards)`` no matter how many worker processes execute the shards —
+including zero (inline execution).
 
 Determinism contract
 --------------------
@@ -28,7 +29,6 @@ evaluator is swapped for the batched lockstep one of
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field, replace
@@ -48,12 +48,12 @@ from repro.core.parameter_space import ParameterSpace
 from repro.core.persistence import controller_state_payload, restore_controller_state
 from repro.core.triggers import TriggerPolicy
 from repro.fleet.batched import BatchedMonteCarloEvaluator
+from repro.fleet.pool import ShardDescriptor, WorkerPool, shared_pool
 from repro.fleet.scenarios import Scenario, get_scenario
 from repro.fleet.telemetry import (
     TelemetryEvent,
     TelemetryWriter,
-    link_utilization_event,
-    session_event,
+    iter_shard_events,
 )
 from repro.net.allocator import LinkUsageSample
 from repro.net.topology import NetworkTopology, get_topology, stable_user_key
@@ -218,6 +218,10 @@ class ShardOutput:
     #: Serialised :meth:`repro.obs.Collector.snapshot` when the shard ran
     #: with ``profile=True``; the orchestrator grafts it into its own tree.
     obs: dict | None = None
+    #: Pre-encoded telemetry JSONL for this shard (pooled runs only): the
+    #: worker serialises its events once into the shared-memory arena and
+    #: :func:`write_fleet_telemetry` streams the blob to disk verbatim.
+    telemetry_blob: bytes | None = None
 
 
 @dataclass(frozen=True)
@@ -552,15 +556,77 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
 
 
 class FleetOrchestrator:
-    """Shard a population, fan the shards out on a pool, merge the results."""
+    """Shard a population, fan the shards out on a pool, merge the results.
 
-    def __init__(self, config: FleetConfig | None = None) -> None:
+    Parallel runs (``num_workers > 1``) execute on the persistent
+    shared-memory :class:`~repro.fleet.pool.WorkerPool` — by default the
+    process-global pool of :func:`~repro.fleet.pool.shared_pool`, reused
+    across runs; pass ``pool=`` to pin a specific pool (a longitudinal
+    campaign holds one across all of its days).  ``num_workers`` of 0/1 keeps
+    the inline reference path, which the pooled path must match bit-for-bit.
+    """
+
+    def __init__(
+        self, config: FleetConfig | None = None, *, pool: WorkerPool | None = None
+    ) -> None:
         self.config = config or FleetConfig()
+        self._pool = pool
 
     def _resolve_workers(self) -> int:
         if self.config.num_workers is not None:
             return self.config.num_workers
         return min(self.config.num_shards, os.cpu_count() or 1)
+
+    def _descriptors(
+        self,
+        pool: WorkerPool,
+        tasks: list[ShardTask],
+        *,
+        population: UserPopulation,
+        scenario: Scenario,
+        library: VideoLibrary,
+        abr_factory,
+        network: NetworkTopology | None,
+        telemetry: bool,
+    ) -> list[ShardDescriptor]:
+        """Shard descriptors for the pooled path (one per non-empty shard).
+
+        Heavy objects are registered in the pool's worker-side cache —
+        pickled once per pool lifetime, not once per shard per run — and
+        every per-shard value a worker can recompute deterministically
+        (profile slice, link slice, `SeedSequence`) stays out of the wire
+        format entirely.
+        """
+        config = self.config
+        population_ref = pool.cache(population)
+        scenario_ref = pool.cache(scenario)
+        library_ref = pool.cache(library)
+        factory_ref = pool.cache(abr_factory)
+        session_config_ref = pool.cache(config.session_config)
+        network_ref = pool.cache(network) if network is not None else None
+        return [
+            ShardDescriptor(
+                run_id=task.run_id,
+                shard_index=task.shard_index,
+                num_shards=config.num_shards,
+                seed=config.seed,
+                day=task.day,
+                sessions_per_user=task.sessions_per_user,
+                trace_length=task.trace_length,
+                backend=task.backend,
+                spec_batched=task.spec_batched,
+                population=population_ref,
+                scenario=scenario_ref,
+                library=library_ref,
+                abr_factory=factory_ref,
+                session_config=session_config_ref,
+                network=network_ref,
+                controller_states=task.controller_states,
+                profile=task.profile,
+                telemetry=telemetry,
+            )
+            for task in tasks
+        ]
 
     def run(
         self,
@@ -657,22 +723,34 @@ class FleetOrchestrator:
         start = time.perf_counter()
         with obs.span("fleet.run_shards"):
             # Both execution paths emit the same span skeleton
-            # (``shard.spawn`` then ``shard.map``) so a profiled run's tree
-            # has the same structure at any shard/worker count; inline runs
-            # simply record ~zero spawn time.
+            # (``shard.spawn``, then ``shard.map`` wrapping
+            # ``pool.dispatch``/``pool.drain``) so a profiled run's tree has
+            # the same structure at any shard/worker count; inline runs
+            # record ~zero spawn time, and a pre-warmed shared pool records
+            # ~zero there too — that is the point of keeping it alive.
             pool = None
             with obs.span("shard.spawn"):
                 if workers > 1 and len(tasks) > 1:
-                    pool = multiprocessing.get_context().Pool(processes=workers)
-            try:
-                with obs.span("shard.map"):
-                    if pool is None:
+                    pool = self._pool if self._pool is not None else shared_pool(workers)
+            with obs.span("shard.map"):
+                if pool is None:
+                    with obs.span("pool.dispatch"):
                         outputs = [_run_shard(task) for task in tasks]
-                    else:
-                        outputs = pool.map(_run_shard, tasks)
-            finally:
-                if pool is not None:
-                    pool.terminate()
+                    with obs.span("pool.drain"):
+                        pass
+                else:
+                    outputs = pool.run(
+                        self._descriptors(
+                            pool,
+                            tasks,
+                            population=population,
+                            scenario=scenario,
+                            library=library,
+                            abr_factory=abr_factory,
+                            network=network,
+                            telemetry=telemetry_path is not None,
+                        )
+                    )
             outputs.sort(key=lambda output: output.shard_index)
             for output in outputs:
                 obs.merge_shard_snapshot(output.obs)
@@ -750,27 +828,12 @@ def write_fleet_telemetry(result: FleetResult, path: str | Path) -> Path:
             )
         )
         for output in result.shard_outputs:
-            for log in output.sessions:
-                writer.emit(session_event(result.run_id, output.shard_index, log))
-            for sample in output.link_usage:
-                writer.emit(
-                    link_utilization_event(result.run_id, output.shard_index, sample)
-                )
-            writer.emit(
-                TelemetryEvent(
-                    run_id=result.run_id,
-                    shard=output.shard_index,
-                    user_id="",
-                    event="shard_summary",
-                    payload={
-                        "num_sessions": len(output.sessions),
-                        "num_segments": output.num_segments,
-                        "wall_time_s": output.wall_time_s,
-                        "fallback_sessions": output.fallback_sessions,
-                        "batch_sessions": output.batch_sessions,
-                    },
-                )
-            )
+            if output.telemetry_blob is not None:
+                # Pooled shard: the worker already encoded these exact events
+                # into its shared-memory arena — stream the bytes verbatim.
+                writer.write_raw(output.telemetry_blob)
+            else:
+                writer.emit_many(iter_shard_events(result.run_id, output))
         if result.obs_report is not None:
             writer.emit(
                 TelemetryEvent(

@@ -1,0 +1,783 @@
+"""Persistent shared-memory worker pool for fleet shards.
+
+The classic ``multiprocessing.Pool`` route pays three taxes on every fleet
+run: pool spawn, per-task pickling of the full :class:`ShardTask` (profiles,
+video library, ABR factory, NN weights), and a full pickle of every
+:class:`ShardOutput` on the way back.  At fleet scale the work per shard is
+milliseconds of vector math, so the dispatch overhead dominates and adding
+workers makes the run *slower* — the anti-scaling recorded in
+``benchmarks/baselines``.
+
+:class:`WorkerPool` removes all three taxes:
+
+* **Long-lived workers.**  Processes are forked once (per pool) and reused
+  across fleet runs and campaign days.  :func:`shared_pool` hands out one
+  process-global pool per worker count, shut down at interpreter exit.
+* **Descriptor dispatch.**  A run ships a :class:`ShardDescriptor` — seeds,
+  scenario/library/factory *cache tokens*, shard index — a few hundred bytes.
+  Heavy objects go through the worker-side object cache exactly once
+  (:meth:`WorkerPool.cache`), and each worker rebuilds its shard's profile
+  slice and `SeedSequence` locally from ``(seed, num_shards, shard_index)``,
+  which is deterministic by construction.
+* **Shared-memory results.**  A worker writes its shard's result — session
+  metadata, the columnar trace export of :func:`repro.sim.vector.
+  export_trace_columns`, link-usage columns, pickled controller states and
+  the pre-encoded telemetry JSONL blob — into one of its two shared-memory
+  arenas.  The parent maps the arena with zero-copy numpy views, materialises
+  the :class:`ShardOutput`, and acks the arena slot so the worker may reuse
+  it.  Only the tiny layout dict (and the obs snapshot, when profiling)
+  travels over the pipe.
+
+Determinism: the pool executes the exact same ``_run_shard`` function on the
+exact same :class:`ShardTask` values the inline path builds, so pooled fleet
+and longitudinal results are bit-identical to inline runs — the property
+pinned by ``tests/test_pool.py``.
+
+Resource-tracker hygiene: ``resource_tracker.ensure_running()`` is called
+before the first fork, so parent and workers share one tracker process and
+one registry entry per segment (the set in the tracker dedups the attach-side
+re-register).  Arenas are unlinked exactly once, by their creating worker on
+graceful shutdown (or by the parent when it reaps a crashed worker), so a
+clean shutdown leaves no segments and no tracker warnings behind.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import pickle
+import time
+import traceback
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from multiprocessing import connection, get_context, resource_tracker, shared_memory
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.sim.vector import (
+    _align8,
+    export_trace_columns,
+    import_trace_columns,
+    trace_columns_nbytes,
+)
+
+#: Arena slots per worker: double buffering lets a worker start its next
+#: shard while the parent is still draining the previous one.
+ARENAS_PER_WORKER = 2
+
+#: Smallest arena allocation; arenas grow geometrically and never shrink.
+MIN_ARENA_BYTES = 1 << 20
+
+#: Descriptors in flight per worker.  Two keeps every worker busy while the
+#: parent drains, and bounds both pipe directions so dispatch can never
+#: deadlock against a worker blocked on sending a result.
+MAX_INFLIGHT = 2
+
+#: Worker-side object-cache capacity (heavy objects: libraries, factories,
+#: populations, topologies).  LRU eviction, driven by the parent.
+CACHE_CAPACITY = 32
+
+_RESULT_FORMAT_VERSION = 1
+
+#: Fixed order of the numeric result columns in an arena.
+_RESULT_ARRAYS = (
+    "session.user",
+    "session.trace",
+    "session.day",
+    "session.index",
+    "session.mean_bw",
+    "usage.step",
+    "usage.link",
+    "usage.active",
+    "usage.capacity",
+    "usage.demand",
+    "usage.allocated",
+)
+
+
+class PoolError(RuntimeError):
+    """Base class for worker-pool failures."""
+
+
+class WorkerCrashError(PoolError):
+    """A worker process died without reporting a result."""
+
+
+class ShardTaskError(PoolError):
+    """A shard raised inside a worker; carries the worker traceback."""
+
+
+@dataclass(frozen=True)
+class CacheRef:
+    """Handle to an object registered in every worker's cache."""
+
+    token: int
+
+
+@dataclass(frozen=True)
+class ShardDescriptor:
+    """Everything a pooled worker needs to run one shard — a few hundred
+    bytes on the wire.
+
+    Heavy objects travel as :class:`CacheRef` tokens; the worker resolves
+    them against its local cache and *recomputes* the shard's profile slice,
+    link slice and `SeedSequence` from ``(seed, num_shards, shard_index)``
+    with the same deterministic functions the inline path uses
+    (``UserPopulation.shards`` / ``NetworkTopology.shard_profiles`` /
+    ``SeedSequence.spawn``), so no per-shard state needs shipping at all.
+    ``controller_states`` is the one per-shard payload carried inline: it is
+    genuinely new data every day of a campaign.
+    """
+
+    run_id: str
+    shard_index: int
+    num_shards: int
+    seed: int
+    day: int
+    sessions_per_user: int | None
+    trace_length: int
+    backend: str
+    spec_batched: bool
+    population: CacheRef
+    scenario: CacheRef
+    library: CacheRef
+    abr_factory: CacheRef
+    session_config: CacheRef
+    network: CacheRef | None = None
+    controller_states: dict = field(default_factory=dict)
+    profile: bool = False
+    #: Pre-encode the shard's telemetry events into the arena so the parent
+    #: can stream them to disk without re-serialising.
+    telemetry: bool = False
+
+
+# --------------------------------------------------------------------------- #
+# Result packing (worker side) / unpacking (parent side)
+# --------------------------------------------------------------------------- #
+def _encode_result_arrays(output) -> tuple[dict, bytes, bytes]:
+    """Columnar arrays + string table + controller pickle for one output."""
+    users: dict[str, int] = {}
+    trace_names: dict[str, int] = {}
+    links: dict[str, int] = {}
+    user_idx = [
+        users.setdefault(log.user_id, len(users)) for log in output.sessions
+    ]
+    trace_idx = [
+        trace_names.setdefault(log.trace.trace_name, len(trace_names))
+        for log in output.sessions
+    ]
+    link_idx = [
+        links.setdefault(sample.link_id, len(links))
+        for sample in output.link_usage
+    ]
+    arrays = {
+        "session.user": np.asarray(user_idx, dtype=np.int32),
+        "session.trace": np.asarray(trace_idx, dtype=np.int32),
+        "session.day": np.asarray(
+            [log.day for log in output.sessions], dtype=np.int64
+        ),
+        "session.index": np.asarray(
+            [log.session_index for log in output.sessions], dtype=np.int64
+        ),
+        "session.mean_bw": np.asarray(
+            [log.mean_bandwidth_kbps for log in output.sessions], dtype=np.float64
+        ),
+        "usage.step": np.asarray(
+            [sample.step for sample in output.link_usage], dtype=np.int64
+        ),
+        "usage.link": np.asarray(link_idx, dtype=np.int32),
+        "usage.active": np.asarray(
+            [sample.active_sessions for sample in output.link_usage], dtype=np.int64
+        ),
+        "usage.capacity": np.asarray(
+            [sample.capacity_kbps for sample in output.link_usage], dtype=np.float64
+        ),
+        "usage.demand": np.asarray(
+            [sample.demand_kbps for sample in output.link_usage], dtype=np.float64
+        ),
+        "usage.allocated": np.asarray(
+            [sample.allocated_kbps for sample in output.link_usage], dtype=np.float64
+        ),
+    }
+    strings = json.dumps(
+        {
+            "users": list(users),
+            "traces": list(trace_names),
+            "links": list(links),
+        }
+    ).encode("utf-8")
+    controller = pickle.dumps(
+        output.controller_states, protocol=pickle.HIGHEST_PROTOCOL
+    )
+    return arrays, strings, controller
+
+
+def _layout_result(
+    buf, *, arrays: dict, strings: bytes, traces, controller: bytes,
+    telemetry: bytes | None,
+) -> tuple[dict, int]:
+    """Write (``buf`` given) or measure (``buf=None``) one packed result.
+
+    Single walk used for both sizing and writing, so the two can never
+    disagree about offsets.
+    """
+    layout: dict = {"version": _RESULT_FORMAT_VERSION, "regions": {}}
+    position = 0
+
+    def put_bytes(name: str, data: bytes) -> None:
+        nonlocal position
+        position = _align8(position)
+        if buf is not None:
+            buf[position : position + len(data)] = data
+        layout["regions"][name] = [position, len(data)]
+        position += len(data)
+
+    def put_array(name: str, array: np.ndarray) -> None:
+        nonlocal position
+        position = _align8(position)
+        if buf is not None:
+            view = np.frombuffer(
+                buf, dtype=array.dtype, count=array.size, offset=position
+            )
+            view[:] = array
+        layout["regions"][name] = [position, int(array.size), array.dtype.str]
+        position += array.size * array.itemsize
+
+    put_bytes("strings", strings)
+    for name in _RESULT_ARRAYS:
+        put_array(name, arrays[name])
+    num_traces = len(traces)
+    num_records = sum(len(trace.records) for trace in traces)
+    position = _align8(position)
+    if buf is None:
+        position += trace_columns_nbytes(num_traces, num_records, offset=position)
+        layout["trace_columns"] = None
+    else:
+        trace_layout, position = export_trace_columns(traces, buf, offset=position)
+        layout["trace_columns"] = trace_layout
+    put_bytes("controller", controller)
+    if telemetry is not None:
+        put_bytes("telemetry", telemetry)
+    return layout, position
+
+
+def _decode_shard_output(buf, layout: dict, shard_index: int, extra: dict):
+    """Materialise a :class:`ShardOutput` from a packed arena region.
+
+    Everything returned is plain Python data — transient numpy views only —
+    so the arena slot may be acked (and overwritten) the moment this returns.
+    """
+    from repro.analytics.logs import SessionLog
+    from repro.fleet.orchestrator import ShardOutput
+    from repro.net.allocator import LinkUsageSample
+
+    if layout.get("version") != _RESULT_FORMAT_VERSION:
+        raise PoolError(f"unsupported result layout: {layout.get('version')!r}")
+    regions = layout["regions"]
+
+    def get_bytes(name: str) -> bytes:
+        offset, length = regions[name]
+        return bytes(buf[offset : offset + length])
+
+    def get_list(name: str) -> list:
+        offset, count, dtype = regions[name]
+        return np.frombuffer(
+            buf, dtype=np.dtype(dtype), count=count, offset=offset
+        ).tolist()
+
+    strings = json.loads(get_bytes("strings").decode("utf-8"))
+    user_idx = get_list("session.user")
+    trace_idx = get_list("session.trace")
+    user_ids = [strings["users"][i] for i in user_idx]
+    traces = import_trace_columns(
+        buf,
+        layout["trace_columns"],
+        user_ids=user_ids,
+        trace_names=[strings["traces"][i] for i in trace_idx],
+    )
+    sessions = [
+        SessionLog(
+            user_id=user_ids[i],
+            day=day,
+            session_index=session_index,
+            trace=traces[i],
+            mean_bandwidth_kbps=mean_bw,
+        )
+        for i, (day, session_index, mean_bw) in enumerate(
+            zip(
+                get_list("session.day"),
+                get_list("session.index"),
+                get_list("session.mean_bw"),
+            )
+        )
+    ]
+    link_usage = [
+        LinkUsageSample(
+            step=step,
+            link_id=strings["links"][link],
+            capacity_kbps=capacity,
+            active_sessions=active,
+            demand_kbps=demand,
+            allocated_kbps=allocated,
+        )
+        for step, link, active, capacity, demand, allocated in zip(
+            get_list("usage.step"),
+            get_list("usage.link"),
+            get_list("usage.active"),
+            get_list("usage.capacity"),
+            get_list("usage.demand"),
+            get_list("usage.allocated"),
+        )
+    ]
+    return ShardOutput(
+        shard_index=shard_index,
+        sessions=sessions,
+        controller_states=pickle.loads(get_bytes("controller")),
+        num_segments=int(extra["num_segments"]),
+        wall_time_s=float(extra["wall_time_s"]),
+        link_usage=link_usage,
+        fallback_sessions=int(extra["fallback_sessions"]),
+        batch_sessions=int(extra["batch_sessions"]),
+        obs=extra["obs"],
+        telemetry_blob=(
+            get_bytes("telemetry") if "telemetry" in regions else None
+        ),
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------------- #
+def _descriptor_task(descriptor: ShardDescriptor, cache: dict):
+    """Rebuild the full :class:`ShardTask` a descriptor stands for.
+
+    Mirrors the orchestrator's ``fleet.prepare`` exactly: same sharding
+    functions, same `SeedSequence` spawn — so the task (and therefore the
+    result) is bit-identical to the inline path's.
+    """
+    from repro.fleet.orchestrator import ShardTask
+
+    population = cache[descriptor.population.token]
+    network = (
+        cache[descriptor.network.token] if descriptor.network is not None else None
+    )
+    if network is not None:
+        profiles = network.shard_profiles(
+            population.profiles, descriptor.num_shards
+        )[descriptor.shard_index]
+        shard_link_ids = tuple(
+            network.shard_links(descriptor.num_shards)[descriptor.shard_index]
+        )
+    else:
+        profiles = population.shards(descriptor.num_shards)[descriptor.shard_index]
+        shard_link_ids = ()
+    seed_seq = np.random.SeedSequence(descriptor.seed).spawn(
+        descriptor.num_shards
+    )[descriptor.shard_index]
+    return ShardTask(
+        run_id=descriptor.run_id,
+        shard_index=descriptor.shard_index,
+        seed_seq=seed_seq,
+        profiles=tuple(profiles),
+        scenario=cache[descriptor.scenario.token],
+        library=cache[descriptor.library.token],
+        abr_factory=cache[descriptor.abr_factory.token],
+        sessions_per_user=descriptor.sessions_per_user,
+        trace_length=descriptor.trace_length,
+        day=descriptor.day,
+        session_config=cache[descriptor.session_config.token],
+        controller_states=descriptor.controller_states,
+        backend=descriptor.backend,
+        spec_batched=descriptor.spec_batched,
+        seed=descriptor.seed,
+        network=network,
+        shard_link_ids=shard_link_ids,
+        profile=descriptor.profile,
+    )
+
+
+def _worker_main(parent_conn, conn, worker_index: int) -> None:
+    """Worker loop: resolve descriptors, run shards, pack results into
+    shared-memory arenas, alternate slots under the parent's ack protocol."""
+    parent_conn.close()
+    obs.disable()  # a fork may inherit an enabled parent collector
+    from repro.fleet.orchestrator import _run_shard
+    from repro.fleet.telemetry import encode_shard_events
+
+    cache: dict[int, object] = {}
+    arenas: list[shared_memory.SharedMemory | None] = [None] * ARENAS_PER_WORKER
+    acked = [True] * ARENAS_PER_WORKER
+    backlog: deque = deque()
+    task_count = 0
+
+    def next_message():
+        return backlog.popleft() if backlog else conn.recv()
+
+    def wait_for_ack(slot: int) -> bool:
+        """Block until the parent has drained ``slot``; False on stop/EOF."""
+        while not acked[slot]:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return False
+            if message[0] == "ack":
+                acked[message[1]] = True
+            elif message[0] == "stop":
+                return False
+            else:
+                backlog.append(message)
+        return True
+
+    try:
+        while True:
+            try:
+                message = next_message()
+            except EOFError:
+                break
+            kind = message[0]
+            if kind == "stop":
+                break
+            elif kind == "cache":
+                cache[message[1]] = message[2]
+            elif kind == "uncache":
+                cache.pop(message[1], None)
+            elif kind == "ack":
+                acked[message[1]] = True
+            elif kind == "run":
+                descriptor: ShardDescriptor = message[1]
+                try:
+                    start = time.perf_counter()
+                    output = _run_shard(_descriptor_task(descriptor, cache))
+                    telemetry = (
+                        encode_shard_events(descriptor.run_id, output)
+                        if descriptor.telemetry
+                        else None
+                    )
+                    arrays, strings, controller = _encode_result_arrays(output)
+                    traces = [log.trace for log in output.sessions]
+                    _, nbytes = _layout_result(
+                        None, arrays=arrays, strings=strings, traces=traces,
+                        controller=controller, telemetry=telemetry,
+                    )
+                    slot = task_count % ARENAS_PER_WORKER
+                    task_count += 1
+                    if not wait_for_ack(slot):
+                        break
+                    arena = arenas[slot]
+                    if arena is None or arena.size < nbytes:
+                        if arena is not None:
+                            arena.close()
+                            arena.unlink()
+                        capacity = max(
+                            MIN_ARENA_BYTES,
+                            arena.size * 2 if arena is not None else 0,
+                            nbytes,
+                        )
+                        arena = shared_memory.SharedMemory(
+                            create=True, size=capacity
+                        )
+                        arenas[slot] = arena
+                    layout, _ = _layout_result(
+                        arena.buf, arrays=arrays, strings=strings, traces=traces,
+                        controller=controller, telemetry=telemetry,
+                    )
+                    acked[slot] = False
+                    conn.send(
+                        (
+                            "result",
+                            descriptor.shard_index,
+                            slot,
+                            arena.name,
+                            layout,
+                            {
+                                "num_segments": output.num_segments,
+                                "wall_time_s": output.wall_time_s,
+                                "fallback_sessions": output.fallback_sessions,
+                                "batch_sessions": output.batch_sessions,
+                                "obs": output.obs,
+                                "pack_time_s": time.perf_counter() - start,
+                                "result_bytes": nbytes,
+                            },
+                        )
+                    )
+                except Exception:
+                    conn.send(
+                        ("error", descriptor.shard_index, traceback.format_exc())
+                    )
+            else:  # pragma: no cover - protocol guard
+                conn.send(("error", -1, f"unknown message kind {kind!r}"))
+    finally:
+        for arena in arenas:
+            if arena is not None:
+                arena.close()
+                arena.unlink()
+        conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Parent-side pool
+# --------------------------------------------------------------------------- #
+class WorkerPool:
+    """Persistent pool of forked shard workers with shared-memory results.
+
+    Create once, call :meth:`run` many times (fleet runs, campaign days),
+    :meth:`shutdown` when done — or use :func:`shared_pool`, which owns one
+    process-global pool per worker count and shuts them down at exit.
+    """
+
+    def __init__(self, num_workers: int) -> None:
+        if num_workers <= 0:
+            raise ValueError("num_workers must be positive")
+        # One resource tracker for the whole process tree: start it before
+        # forking so worker-side segment registration lands in the same
+        # registry the parent's (sole) unlink balances.
+        resource_tracker.ensure_running()
+        self.num_workers = num_workers
+        self.closed = False
+        self._context = get_context("fork")
+        self._cache: OrderedDict[int, tuple[object, int]] = OrderedDict()
+        self._next_token = 0
+        #: (worker, slot) -> (arena name, parent-side attachment)
+        self._attachments: dict[tuple[int, int], tuple[str, shared_memory.SharedMemory]] = {}
+        self._processes = []
+        self._conns = []
+        for index in range(num_workers):
+            parent_conn, child_conn = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_worker_main,
+                args=(parent_conn, child_conn, index),
+                name=f"fleet-pool-{index}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._conns.append(parent_conn)
+
+    # -- object cache -------------------------------------------------------
+    def cache(self, obj) -> CacheRef:
+        """Register ``obj`` in every worker's cache (idempotent per object).
+
+        Identity-keyed with a strong reference, so a library or factory used
+        across many runs/days is pickled to each worker exactly once.  LRU
+        beyond :data:`CACHE_CAPACITY` entries.
+        """
+        self._ensure_open()
+        key = id(obj)
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] is obj:
+            self._cache.move_to_end(key)
+            return CacheRef(entry[1])
+        token = self._next_token
+        self._next_token += 1
+        self._broadcast(("cache", token, obj))
+        self._cache[key] = (obj, token)
+        while len(self._cache) > CACHE_CAPACITY:
+            _, (_, old_token) = self._cache.popitem(last=False)
+            self._broadcast(("uncache", old_token))
+        return CacheRef(token)
+
+    # -- execution ----------------------------------------------------------
+    def run(self, descriptors: Sequence[ShardDescriptor]) -> list:
+        """Execute descriptors across the workers; outputs in shard order.
+
+        Emits the ``pool.dispatch``/``pool.drain`` spans and the
+        ``pool.shm_*`` byte counters.  Raises :class:`ShardTaskError` when a
+        shard raised in a worker (remaining in-flight shards are drained
+        first, so the pool stays reusable) and :class:`WorkerCrashError` when
+        a worker died (the pool is shut down: a fresh :func:`shared_pool`
+        call replaces it).
+        """
+        self._ensure_open()
+        queues: list[deque] = [deque() for _ in range(self.num_workers)]
+        inflight = [0] * self.num_workers
+        for index, descriptor in enumerate(descriptors):
+            queues[index % self.num_workers].append(descriptor)
+
+        with obs.span("pool.dispatch"):
+            obs.gauge_max("pool.workers", self.num_workers)
+            if obs.enabled():
+                obs.counter_add(
+                    "pool.dispatch_bytes",
+                    sum(len(pickle.dumps(d)) for d in descriptors),
+                )
+            for worker in range(self.num_workers):
+                while inflight[worker] < MAX_INFLIGHT and queues[worker]:
+                    self._send(worker, ("run", queues[worker].popleft()))
+                    inflight[worker] += 1
+
+        outputs = []
+        failures: list[tuple[int, str]] = []
+        conn_worker = {id(conn): w for w, conn in enumerate(self._conns)}
+        with obs.span("pool.drain"):
+            while sum(inflight) > 0:
+                ready = connection.wait(
+                    [
+                        self._conns[w]
+                        for w in range(self.num_workers)
+                        if inflight[w] > 0
+                    ],
+                    timeout=0.2,
+                )
+                if not ready:
+                    self._check_alive()
+                    continue
+                for conn in ready:
+                    worker = conn_worker[id(conn)]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        self._reap_crash(worker)
+                    if message[0] == "result":
+                        _, shard_index, slot, name, layout, extra = message
+                        outputs.append(
+                            self._drain_result(
+                                worker, slot, name, layout, shard_index, extra
+                            )
+                        )
+                        conn.send(("ack", slot))
+                    elif message[0] == "error":
+                        failures.append((message[1], message[2]))
+                    inflight[worker] -= 1
+                    if not failures and queues[worker]:
+                        conn.send(("run", queues[worker].popleft()))
+                        inflight[worker] += 1
+        if failures:
+            shard_index, worker_traceback = failures[0]
+            raise ShardTaskError(
+                f"shard {shard_index} failed in pool worker "
+                f"({len(failures)} failure(s) total):\n{worker_traceback}"
+            )
+        outputs.sort(key=lambda output: output.shard_index)
+        return outputs
+
+    def _drain_result(self, worker, slot, name, layout, shard_index, extra):
+        arena = self._attach(worker, slot, name)
+        output = _decode_shard_output(arena.buf, layout, shard_index, extra)
+        obs.counter_add("pool.shm_result_bytes", int(extra["result_bytes"]))
+        if output.telemetry_blob is not None:
+            obs.counter_add("pool.shm_telemetry_bytes", len(output.telemetry_blob))
+        obs.gauge_max("pool.shm_arena_bytes", arena.size)
+        obs.observe("pool.shard_pack_seconds", float(extra["pack_time_s"]))
+        return output
+
+    def _attach(self, worker: int, slot: int, name: str) -> shared_memory.SharedMemory:
+        """Parent-side arena attachment, cached per (worker, slot).
+
+        The attachment is only ever ``close()``d, never unlinked: the worker
+        owns the segment's lifetime (it unlinks on growth and on shutdown).
+        """
+        key = (worker, slot)
+        cached = self._attachments.get(key)
+        if cached is not None:
+            cached_name, cached_shm = cached
+            if cached_name == name:
+                return cached_shm
+            cached_shm.close()  # worker grew the arena; stale mapping
+        shm = shared_memory.SharedMemory(name=name)
+        self._attachments[key] = (name, shm)
+        return shm
+
+    # -- failure handling ---------------------------------------------------
+    def _check_alive(self) -> None:
+        for worker, process in enumerate(self._processes):
+            if not process.is_alive():
+                self._reap_crash(worker)
+
+    def _reap_crash(self, worker: int) -> None:
+        """A worker died mid-run: unlink its orphaned arenas, kill the pool."""
+        exitcode = self._processes[worker].exitcode
+        for (owner, slot), (name, shm) in list(self._attachments.items()):
+            if owner == worker:
+                shm.close()
+                try:
+                    shm.unlink()  # the dead creator cannot; reap its segments
+                except FileNotFoundError:
+                    pass
+                del self._attachments[(owner, slot)]
+        self.shutdown()
+        raise WorkerCrashError(
+            f"pool worker {worker} died (exitcode {exitcode}); "
+            "pool shut down — acquire a fresh one"
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self.closed:
+            raise PoolError("worker pool is closed")
+
+    def _broadcast(self, message) -> None:
+        for worker in range(self.num_workers):
+            self._send(worker, message)
+
+    def _send(self, worker: int, message) -> None:
+        try:
+            self._conns[worker].send(message)
+        except (BrokenPipeError, OSError):
+            self._reap_crash(worker)
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop all workers and release every shared-memory segment.
+
+        Graceful first (workers unlink their own arenas), terminate as a
+        fallback.  Idempotent.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for _, shm in self._attachments.values():
+            shm.close()
+        self._attachments.clear()
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        self._cache.clear()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# --------------------------------------------------------------------------- #
+# Process-global shared pools
+# --------------------------------------------------------------------------- #
+_SHARED_POOLS: dict[int, WorkerPool] = {}
+
+
+def shared_pool(num_workers: int) -> WorkerPool:
+    """The process-global persistent pool for ``num_workers`` workers.
+
+    Created on first use, reused by every subsequent fleet run and campaign
+    day with the same worker count, replaced transparently if its workers
+    died, shut down at interpreter exit.
+    """
+    pool = _SHARED_POOLS.get(num_workers)
+    if pool is not None and not pool.closed:
+        return pool
+    pool = WorkerPool(num_workers)
+    _SHARED_POOLS[num_workers] = pool
+    return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Shut down every process-global pool (also runs at interpreter exit)."""
+    for pool in list(_SHARED_POOLS.values()):
+        pool.shutdown()
+    _SHARED_POOLS.clear()
+
+
+atexit.register(shutdown_shared_pools)

@@ -124,6 +124,22 @@ class TelemetryWriter:
         for event in events:
             self.emit(event)
 
+    def write_raw(self, data: bytes) -> None:
+        """Append pre-encoded JSONL bytes (newline-terminated lines).
+
+        This is the shared-memory drain path of the pooled fleet: a worker
+        encodes its shard's events once (:func:`encode_shard_events`) and the
+        parent streams the blob to disk without re-serialising.  The bytes
+        are exactly what :meth:`emit` would have written for the same events,
+        so replay readers cannot tell the two paths apart.
+        """
+        if not data:
+            return
+        if not data.endswith(b"\n"):
+            raise ValueError("raw telemetry blobs must be newline-terminated")
+        self._handle.write(data.decode("utf-8"))
+        self.events_written += data.count(b"\n")
+
     def close(self) -> None:
         """Flush and close the file."""
         if not self._handle.closed:
@@ -204,6 +220,49 @@ def link_utilization_event(
         event="link_utilization",
         payload=sample.as_payload(),
     )
+
+
+def shard_summary_event(run_id: str, output) -> TelemetryEvent:
+    """Build the ``shard_summary`` event for one shard output."""
+    return TelemetryEvent(
+        run_id=run_id,
+        shard=output.shard_index,
+        user_id="",
+        event="shard_summary",
+        payload={
+            "num_sessions": len(output.sessions),
+            "num_segments": output.num_segments,
+            "wall_time_s": output.wall_time_s,
+            "fallback_sessions": output.fallback_sessions,
+            "batch_sessions": output.batch_sessions,
+        },
+    )
+
+
+def iter_shard_events(run_id: str, output) -> Iterator[TelemetryEvent]:
+    """All telemetry events of one shard output, in canonical order.
+
+    ``output`` is a :class:`~repro.fleet.orchestrator.ShardOutput` (duck
+    typed to avoid a module cycle).  Both telemetry paths run through this
+    generator — the orchestrator writing inline results, and pool workers
+    pre-encoding their shard's blob — which is what makes pooled telemetry
+    byte-identical to inline telemetry.
+    """
+    for log in output.sessions:
+        yield session_event(run_id, output.shard_index, log)
+    for sample in output.link_usage:
+        yield link_utilization_event(run_id, output.shard_index, sample)
+    yield shard_summary_event(run_id, output)
+
+
+def encode_events(events: Iterable[TelemetryEvent]) -> bytes:
+    """Encode events to the exact bytes :class:`TelemetryWriter` would write."""
+    return "".join(event.to_json() + "\n" for event in events).encode("utf-8")
+
+
+def encode_shard_events(run_id: str, output) -> bytes:
+    """One shard's telemetry as a raw JSONL blob (the pool's shm payload)."""
+    return encode_events(iter_shard_events(run_id, output))
 
 
 def replay_link_usage(events: Iterable[TelemetryEvent]) -> list[LinkUsageSample]:

@@ -1,0 +1,475 @@
+"""Persistent worker pool: bit-identity vs the inline path, lifecycle, and
+shared-memory hygiene.
+
+The pool's contract is brutal on purpose: a pooled fleet (or campaign) run
+must be **bit-identical** to the inline reference path — traces, controller
+states, link usage, replayed telemetry — across every shard/worker-count
+combination, two runs on one pool must equal two runs on fresh pools, a dead
+worker must surface as a clean error (never a hang), and a graceful shutdown
+must leave zero shared-memory segments and zero resource-tracker warnings
+behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.fleet import (
+    FleetConfig,
+    FleetOrchestrator,
+    LongitudinalCampaign,
+    LongitudinalConfig,
+    PoolError,
+    ShardTaskError,
+    WorkerCrashError,
+    WorkerPool,
+    load_resume_state,
+    read_events,
+    replay_link_usage,
+    replay_log_collection,
+    replay_run_summary,
+    shared_pool,
+    shutdown_shared_pools,
+)
+from repro.fleet.pool import _SHARED_POOLS
+from repro.sim.session import PlaybackTrace, SegmentRecord
+from repro.sim.vector import (
+    export_trace_columns,
+    import_trace_columns,
+    trace_columns_nbytes,
+)
+from repro.sim.video import VideoLibrary
+from repro.users.population import UserPopulation
+
+
+@pytest.fixture(autouse=True)
+def fresh_pools():
+    """Each test starts and ends without process-global pools."""
+    shutdown_shared_pools()
+    yield
+    shutdown_shared_pools()
+
+
+@pytest.fixture(scope="module")
+def population() -> UserPopulation:
+    return UserPopulation.generate(16, seed=5, bandwidth_median_kbps=2500.0)
+
+
+@pytest.fixture(scope="module")
+def library() -> VideoLibrary:
+    return VideoLibrary(num_videos=3, mean_duration=30.0, std_duration=8.0, seed=2)
+
+
+def _run_fleet(population, library, *, shards, workers, pool=None,
+               telemetry=None, **overrides):
+    defaults = dict(
+        num_shards=shards,
+        num_workers=workers,
+        sessions_per_user=2,
+        trace_length=40,
+        seed=9,
+        backend="vector",
+        network="dual_isp",
+    )
+    defaults.update(overrides)
+    config = FleetConfig(**defaults)
+    return FleetOrchestrator(config, pool=pool).run(
+        population, library, telemetry_path=telemetry
+    )
+
+
+def _fingerprint(result):
+    """Everything deterministic about a fleet result, hashable-comparable."""
+    return (
+        {
+            (log.user_id, log.session_index): (
+                log.day,
+                log.mean_bandwidth_kbps,
+                log.trace.video_duration,
+                log.trace.segment_duration,
+                log.trace.trace_name,
+                log.trace.exited_early,
+                tuple(log.trace.records),
+            )
+            for log in result.logs
+        },
+        result.controller_states,
+        tuple(result.link_usage),
+        result.metrics.as_dict(),
+        result.total_fallback_sessions,
+        result.total_batch_sessions,
+    )
+
+
+class TestTraceColumns:
+    def _trace(self, n, uid="u1", name="t", exited=False):
+        records = [
+            SegmentRecord(
+                segment_index=i,
+                level=i % 4,
+                bitrate_kbps=300.0 * (1 + i % 4),
+                size_kbit=1200.0 + 0.125 * i,
+                bandwidth_kbps=2500.0 + i,
+                download_time=0.5 + 0.001 * i,
+                stall_time=0.0 if i % 3 else 0.25,
+                wait_time=0.125,
+                buffer_before=4.0 + i * 0.5,
+                buffer_after=5.0 + i * 0.5,
+                watch_time=(i + 1) * 4.0,
+                cumulative_stall_time=0.25 * (i // 3 + 1),
+                stall_count=i // 3,
+                exit_probability=0.01 * i,
+                exited=exited and i == n - 1,
+            )
+            for i in range(n)
+        ]
+        return PlaybackTrace(
+            user_id=uid, video_duration=n * 4.0, segment_duration=4.0,
+            trace_name=name, records=records, exited_early=exited,
+        )
+
+    def test_roundtrip_is_value_identical_with_python_types(self):
+        traces = [self._trace(6, "a", "t1", exited=True), self._trace(0, "b", "t2"),
+                  self._trace(3, "c", "t1")]
+        size = trace_columns_nbytes(len(traces), sum(len(t.records) for t in traces))
+        buffer = bytearray(size + 32)
+        layout, end = export_trace_columns(traces, buffer, offset=16)
+        assert end <= len(buffer)
+        assert json.loads(json.dumps(layout)) == layout  # JSON-safe layout
+        back = import_trace_columns(
+            buffer, layout, user_ids=["a", "b", "c"], trace_names=["t1", "t2", "t1"]
+        )
+        assert back == traces
+        for trace in back:
+            for record in trace.records:
+                assert type(record.segment_index) is int
+                assert type(record.level) is int
+                assert type(record.stall_count) is int
+                assert type(record.exited) is bool
+                assert type(record.bitrate_kbps) is float
+
+    def test_import_validates_string_columns_and_version(self):
+        traces = [self._trace(2)]
+        buffer = bytearray(trace_columns_nbytes(1, 2))
+        layout, _ = export_trace_columns(traces, buffer)
+        with pytest.raises(ValueError):
+            import_trace_columns(buffer, layout, user_ids=[], trace_names=[])
+        bad = dict(layout, version=99)
+        with pytest.raises(ValueError):
+            import_trace_columns(buffer, bad, user_ids=["u1"], trace_names=["t"])
+
+
+class TestPooledBitIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize(
+        "backend,network",
+        [("vector", "dual_isp"), ("vector", None), ("scalar", None)],
+    )
+    def test_pooled_equals_inline_across_shards(
+        self, population, library, shards, backend, network
+    ):
+        inline = _run_fleet(
+            population, library, shards=shards, workers=0,
+            backend=backend, network=network,
+        )
+        pooled = _run_fleet(
+            population, library, shards=shards, workers=2,
+            backend=backend, network=network,
+        )
+        assert _fingerprint(pooled) == _fingerprint(inline)
+
+    def test_worker_count_does_not_matter(self, population, library):
+        reference = _run_fleet(population, library, shards=4, workers=0)
+        for workers in (2, 3, 4):
+            pooled = _run_fleet(population, library, shards=4, workers=workers)
+            assert _fingerprint(pooled) == _fingerprint(reference)
+
+    def test_pool_reuse_is_deterministic(self, population, library):
+        """Two runs on one pool == two runs on fresh pools == inline."""
+        inline = _fingerprint(_run_fleet(population, library, shards=4, workers=0))
+        with WorkerPool(2) as pool:
+            first = _run_fleet(population, library, shards=4, workers=2, pool=pool)
+            second = _run_fleet(population, library, shards=4, workers=2, pool=pool)
+        with WorkerPool(2) as fresh:
+            third = _run_fleet(population, library, shards=4, workers=2, pool=fresh)
+        assert _fingerprint(first) == _fingerprint(second) == _fingerprint(third) == inline
+
+    def test_pooled_telemetry_replays_identically(
+        self, population, library, tmp_path
+    ):
+        inline_path = tmp_path / "inline.jsonl"
+        pooled_path = tmp_path / "pooled.jsonl"
+        _run_fleet(population, library, shards=4, workers=0, telemetry=inline_path)
+        _run_fleet(population, library, shards=4, workers=2, telemetry=pooled_path)
+        assert list(replay_log_collection(pooled_path)) == list(
+            replay_log_collection(inline_path)
+        )
+        assert replay_link_usage(read_events(pooled_path)) == replay_link_usage(
+            read_events(inline_path)
+        )
+        assert replay_run_summary(pooled_path) == replay_run_summary(inline_path)
+        # Byte-for-byte identical except the wall-clock fields, which differ
+        # between *any* two runs (inline vs inline included).
+        inline_lines = inline_path.read_text().splitlines()
+        pooled_lines = pooled_path.read_text().splitlines()
+        assert len(inline_lines) == len(pooled_lines)
+        for left, right in zip(inline_lines, pooled_lines):
+            if left == right:
+                continue
+            left_doc, right_doc = json.loads(left), json.loads(right)
+            left_doc["payload"].pop("wall_time_s", None)
+            right_doc["payload"].pop("wall_time_s", None)
+            assert left_doc == right_doc
+
+    def test_descriptors_stay_small(self, population, library):
+        """The dispatch unit is the descriptor, not the task: a few hundred
+        bytes even though the task closes over libraries and factories."""
+        from repro.fleet.orchestrator import HybFleetFactory, ShardTask
+        from repro.fleet.pool import CacheRef, ShardDescriptor
+
+        descriptor = ShardDescriptor(
+            run_id="fleet-00000009-s4-d0",
+            shard_index=3,
+            num_shards=4,
+            seed=9,
+            day=0,
+            sessions_per_user=2,
+            trace_length=40,
+            backend="vector",
+            spec_batched=False,
+            population=CacheRef(0),
+            scenario=CacheRef(1),
+            library=CacheRef(2),
+            abr_factory=CacheRef(3),
+            session_config=CacheRef(4),
+            network=CacheRef(5),
+            telemetry=True,
+        )
+        assert len(pickle.dumps(descriptor)) < 512
+
+
+class _ExplodingFactory:
+    """Picklable factory that raises inside the worker."""
+
+    def __call__(self, profile, seed):
+        raise ValueError("boom in worker")
+
+
+class _CrashingFactory:
+    """Picklable factory that hard-kills the worker process."""
+
+    def __init__(self, exitcode: int) -> None:
+        self.exitcode = exitcode
+
+    def __call__(self, profile, seed):
+        os._exit(self.exitcode)
+
+
+class TestPoolLifecycle:
+    def test_shared_pool_reuses_and_replaces(self):
+        pool = shared_pool(2)
+        assert shared_pool(2) is pool
+        pool.shutdown()
+        replacement = shared_pool(2)
+        assert replacement is not pool
+        assert not replacement.closed
+        replacement.shutdown()
+
+    def test_closed_pool_rejects_work(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        pool.shutdown()  # idempotent
+        with pytest.raises(PoolError):
+            pool.run([])
+
+    def test_worker_exception_propagates_and_pool_survives(
+        self, population, library
+    ):
+        with WorkerPool(2) as pool:
+            config = FleetConfig(
+                num_shards=4, num_workers=2, sessions_per_user=1,
+                trace_length=20, seed=3, backend="vector",
+            )
+            with pytest.raises(ShardTaskError, match="boom in worker"):
+                FleetOrchestrator(config, pool=pool).run(
+                    population, library, abr_factory=_ExplodingFactory()
+                )
+            # The pool is still healthy: same workers run the next fleet.
+            result = _run_fleet(population, library, shards=4, workers=2, pool=pool)
+            assert len(result.logs) > 0
+
+    def test_worker_crash_is_clean_error_not_hang(self, population, library):
+        pool = WorkerPool(2)
+        config = FleetConfig(
+            num_shards=2, num_workers=2, sessions_per_user=1,
+            trace_length=20, seed=3, backend="vector",
+        )
+        with pytest.raises(WorkerCrashError, match="died"):
+            FleetOrchestrator(config, pool=pool).run(
+                population, library, abr_factory=_CrashingFactory(17)
+            )
+        assert pool.closed  # crash poisons the pool ...
+        fresh = shared_pool(2)  # ... and shared_pool hands out a new one
+        assert not fresh.closed
+
+    def test_crashed_shared_pool_is_replaced_transparently(
+        self, population, library
+    ):
+        config = FleetConfig(
+            num_shards=2, num_workers=2, sessions_per_user=1,
+            trace_length=20, seed=3, backend="vector",
+        )
+        with pytest.raises(WorkerCrashError):
+            FleetOrchestrator(config).run(
+                population, library, abr_factory=_CrashingFactory(11)
+            )
+        # Next orchestrator call transparently gets a fresh shared pool.
+        result = _run_fleet(population, library, shards=2, workers=2)
+        assert len(result.logs) > 0
+
+    def test_shutdown_releases_all_shm_segments(self, population, library):
+        before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
+        pool = WorkerPool(2)
+        _run_fleet(population, library, shards=4, workers=2, pool=pool)
+        pool.shutdown()
+        if before is not None:
+            leaked = set(os.listdir("/dev/shm")) - before
+            assert not leaked, f"segments left behind: {leaked}"
+
+    def test_clean_shutdown_emits_no_resource_tracker_warnings(self, tmp_path):
+        """End-to-end in a subprocess: run pooled fleets, shut down, and
+        require stderr free of resource_tracker leak chatter at exit."""
+        script = textwrap.dedent(
+            """
+            from repro.fleet import FleetConfig, FleetOrchestrator, shutdown_shared_pools
+            from repro.sim.video import VideoLibrary
+            from repro.users.population import UserPopulation
+
+            population = UserPopulation.generate(12, seed=5)
+            library = VideoLibrary(num_videos=2, seed=2)
+            config = FleetConfig(num_shards=4, num_workers=2, sessions_per_user=1,
+                                 trace_length=20, seed=7, backend="vector")
+            for _ in range(2):
+                FleetOrchestrator(config).run(population, library)
+            shutdown_shared_pools()
+            print("done")
+            """
+        )
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            timeout=300, cwd=os.path.dirname(os.path.dirname(__file__)), env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "done" in proc.stdout
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr
+
+    def test_arena_grows_for_large_results_and_is_reused(self, population, library):
+        with WorkerPool(1) as pool:
+            small = _run_fleet(population, library, shards=2, workers=2,
+                               pool=pool, trace_length=20)
+            large = _run_fleet(population, library, shards=2, workers=2,
+                               pool=pool, trace_length=160)
+            again = _run_fleet(population, library, shards=2, workers=2,
+                               pool=pool, trace_length=20)
+        assert _fingerprint(small) == _fingerprint(again)
+        assert len(large.logs) == len(small.logs)
+
+    def test_cache_is_identity_keyed_and_bounded(self):
+        from repro.fleet.pool import CACHE_CAPACITY
+
+        pool = WorkerPool(1)
+        try:
+            obj = ("payload",)
+            first = pool.cache(obj)
+            assert pool.cache(obj) == first  # same object → same token
+            tokens = {pool.cache(("other", i)).token for i in range(CACHE_CAPACITY + 8)}
+            assert len(tokens) == CACHE_CAPACITY + 8
+            assert len(pool._cache) <= CACHE_CAPACITY
+        finally:
+            pool.shutdown()
+
+
+class TestPooledLongitudinal:
+    def _config(self, workers, days=3):
+        return LongitudinalConfig(
+            days=days,
+            seed=11,
+            num_shards=2,
+            num_workers=workers,
+            sessions_per_user=2,
+            trace_length=30,
+            backend="vector",
+            network="dual_isp",
+        )
+
+    def _day_map(self, result):
+        return {
+            (day.day, log.user_id, log.session_index): tuple(log.trace.records)
+            for day in result.days
+            for log in day.result.logs
+        }
+
+    def test_campaign_pooled_equals_inline(self, population, library):
+        inline = LongitudinalCampaign(self._config(0)).run(population, library)
+        pooled = LongitudinalCampaign(self._config(2)).run(population, library)
+        assert self._day_map(pooled) == self._day_map(inline)
+        np.testing.assert_array_equal(
+            [d.retention_rate for d in pooled.days],
+            [d.retention_rate for d in inline.days],
+        )
+
+    def test_resume_from_checkpoint_unchanged_under_pooled_path(
+        self, population, library, tmp_path
+    ):
+        full = LongitudinalCampaign(self._config(2, days=4)).run(
+            population, library,
+            checkpoint_dir=tmp_path / "full",
+        )
+        # Run days 0-1 pooled, then resume days 2-3 pooled from disk state.
+        LongitudinalCampaign(self._config(2, days=2)).run(
+            population, library, checkpoint_dir=tmp_path / "part"
+        )
+        resume = load_resume_state(
+            tmp_path / "part" / "resume_day_001.json",
+            tmp_path / "part" / "day_001.json",
+        )
+        resumed = LongitudinalCampaign(self._config(2, days=2)).run(
+            resume.population(), library,
+            checkpoint_dir=tmp_path / "part",
+            resume_state=resume,
+        )
+        full_map = self._day_map(full)
+        resumed_map = self._day_map(resumed)
+        assert resumed_map == {
+            key: value for key, value in full_map.items() if key[0] >= 2
+        }
+
+
+class TestPooledObservability:
+    def test_pool_counters_present_in_profiled_pooled_run(
+        self, population, library
+    ):
+        from repro import obs
+
+        obs.enable()
+        try:
+            result = _run_fleet(population, library, shards=4, workers=2)
+        finally:
+            obs.disable()
+        counters = result.obs_report["metrics"]["counters"]
+        assert counters["pool.shm_result_bytes"] > 0
+        assert counters.get("pool.shm_telemetry_bytes", 0) == 0  # no telemetry path
+        assert counters["pool.dispatch_bytes"] < 4 * 2048
+        names = obs.span_names(result.obs_report["spans"])
+        assert "fleet.run_day/fleet.run_shards/shard.map/pool.dispatch" in names
+        assert "fleet.run_day/fleet.run_shards/shard.map/pool.drain" in names
