@@ -11,11 +11,13 @@ from __future__ import annotations
 
 import argparse
 import tempfile
+from contextlib import ExitStack
 from pathlib import Path
 
 import numpy as np
 
 from repro import obs
+from repro.obs.live import live_run
 from repro.fleet import (
     FleetConfig,
     FleetOrchestrator,
@@ -78,6 +80,16 @@ def main() -> None:
         default=None,
         help="with --profile, also write the run health report JSON here",
     )
+    parser.add_argument(
+        "--live-status",
+        default=None,
+        metavar="PATH",
+        help=(
+            "publish live heartbeats: write a status file here and attach a "
+            "watchable shared-memory progress table (monitor the run with "
+            "`python -m repro.obs.monitor PATH`)"
+        ),
+    )
     args = parser.parse_args()
     if args.profile:
         obs.enable()
@@ -108,12 +120,16 @@ def main() -> None:
         f"({args.scenario}{network_label}) on {args.shards} shards / "
         f"{args.workers} workers [{args.backend} backend] ..."
     )
-    result = orchestrator.run(
-        population,
-        library,
-        scenario=args.scenario,
-        telemetry_path=telemetry_path,
-    )
+    with ExitStack() as stack:
+        if args.live_status:
+            stack.enter_context(live_run(args.live_status, run_id="fleet_day"))
+            print(f"live status: python -m repro.obs.monitor {args.live_status}")
+        result = orchestrator.run(
+            population,
+            library,
+            scenario=args.scenario,
+            telemetry_path=telemetry_path,
+        )
 
     metrics = result.metrics
     print(f"\nrun {result.run_id}")

@@ -18,11 +18,13 @@ from __future__ import annotations
 
 import argparse
 import tempfile
+from contextlib import ExitStack
 from pathlib import Path
 
 import numpy as np
 
 from repro import obs
+from repro.obs.live import live_run
 from repro.abr.base import QoEParameters
 from repro.fleet import (
     DriftConfig,
@@ -75,6 +77,15 @@ def _parse_args() -> argparse.Namespace:
         "--report",
         default=None,
         help="with --profile, also write the run health report JSON here",
+    )
+    parser.add_argument(
+        "--live-status",
+        default=None,
+        metavar="PATH",
+        help=(
+            "publish live heartbeats for the whole campaign: write a status "
+            "file here (watch with `python -m repro.obs.monitor PATH`)"
+        ),
     )
     return parser.parse_args()
 
@@ -174,9 +185,15 @@ def main() -> None:
     if args.profile:
         obs.enable()
     try:
-        run_single(args, population, library)
-        if args.ab:
-            run_ab(args, population, library)
+        with ExitStack() as stack:
+            if args.live_status:
+                stack.enter_context(
+                    live_run(args.live_status, run_id="longitudinal")
+                )
+                print(f"live status: python -m repro.obs.monitor {args.live_status}")
+            run_single(args, population, library)
+            if args.ab:
+                run_ab(args, population, library)
     finally:
         if args.profile:
             report = obs.build_run_report(run_id="longitudinal")

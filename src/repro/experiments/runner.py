@@ -14,11 +14,13 @@ from __future__ import annotations
 
 import argparse
 import time
+from contextlib import ExitStack
 from pathlib import Path
 
 import numpy as np
 
 from repro import obs
+from repro.obs.live import live_run
 from repro.experiments import (
     fig01_qos_saturation,
     fig02_opportunities,
@@ -184,6 +186,15 @@ def _parse_args(argv: list[str] | None = None) -> argparse.Namespace:
         default="report.json",
         help="where --profile writes the run health report (default: report.json)",
     )
+    parser.add_argument(
+        "--live-status",
+        default=None,
+        metavar="PATH",
+        help=(
+            "publish live heartbeats while figures run: write a status file "
+            "here (watch with `python -m repro.obs.monitor PATH`)"
+        ),
+    )
     return parser.parse_args(argv)
 
 
@@ -203,13 +214,19 @@ def main(argv: list[str] | None = None) -> dict[str, object]:
     if args.profile:
         obs.enable()
     try:
-        results = run_all(
-            substrate_config=SubstrateConfig(
-                backend=args.backend, network=args.network
-            ),
-            verbose=not args.quiet,
-            figures=figures,
-        )
+        with ExitStack() as stack:
+            if args.live_status:
+                stack.enter_context(
+                    live_run(args.live_status, run_id="experiments.runner")
+                )
+                print(f"live status: python -m repro.obs.monitor {args.live_status}")
+            results = run_all(
+                substrate_config=SubstrateConfig(
+                    backend=args.backend, network=args.network
+                ),
+                verbose=not args.quiet,
+                figures=figures,
+            )
     finally:
         if args.profile:
             report = obs.build_run_report(run_id="experiments.runner")

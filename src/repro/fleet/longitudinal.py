@@ -56,6 +56,7 @@ from repro.fleet.orchestrator import (
     write_fleet_telemetry,
 )
 from repro.fleet.pool import shared_pool
+from repro.obs import live as obs_live
 from repro.fleet.scenarios import DeviceMixScenario, Scenario, get_scenario
 from repro.fleet.telemetry import TelemetryEvent, TelemetryWriter, read_events
 from repro.net.topology import (
@@ -564,11 +565,19 @@ class LongitudinalCampaign:
                 )
             )
 
+        live = obs_live.active_run()
+        if live is not None:
+            live.begin_campaign(
+                start_day=start_day, days=config.days, run_id=campaign_id
+            )
+
         day_results: list[DayResult] = []
         try:
             for offset in range(config.days):
                 with obs.span("campaign.day"):
                     day = start_day + offset
+                    if live is not None:
+                        live.note_day(day=day, roster=len(roster))
                     scen = get_scenario(
                         scenario_schedule(day) if scenario_schedule is not None else scenario
                     )
@@ -682,6 +691,8 @@ class LongitudinalCampaign:
                         active_user_ids=tuple(p.user_id for p in arrivals),
                         retention_rate=retention_rate,
                     )
+                    if live is not None:
+                        live.note_day(day=day, dau=day_result.dau, roster=len(roster))
                     day_results.append(day_result)
 
                     if writer is not None:

@@ -39,6 +39,7 @@ import numpy as np
 
 from repro import obs
 from repro.abr.base import ABRAlgorithm, QoEParameters
+from repro.obs import live as obs_live
 from repro.abr.hyb import HYB
 from repro.analytics.logs import LogCollection, SessionLog
 from repro.core.controller import ControllerConfig, LingXiABR, LingXiController
@@ -351,12 +352,21 @@ def _run_shard(task: ShardTask) -> ShardOutput:
     private obs collector (identical inline and in a forked worker) and the
     snapshot travels back in :attr:`ShardOutput.obs`.
     """
-    if not task.profile:
-        return _run_shard_impl(task)
-    with obs.collect() as collector:
-        with obs.span("shard.run"):
+    # Heartbeat bracket: identical for inline and pooled execution (workers
+    # run this very function), wall-clock only — a no-op without a live run.
+    obs_live.begin_shard(task.shard_index, task.day)
+    try:
+        if not task.profile:
             output = _run_shard_impl(task)
-        output.obs = collector.snapshot()
+        else:
+            with obs.collect() as collector:
+                with obs.span("shard.run"):
+                    output = _run_shard_impl(task)
+                output.obs = collector.snapshot()
+    except BaseException as exc:
+        obs_live.fail_shard(f"{type(exc).__name__}: {exc}"[:150])
+        raise
+    obs_live.finish_shard(len(output.sessions), output.num_segments)
     return output
 
 
@@ -416,6 +426,7 @@ def _run_shard_impl(task: ShardTask) -> ShardOutput:
                     mean_bandwidth_kbps=profile.mean_bandwidth_kbps,
                 )
             )
+            obs_live.add_sessions(1, len(playback))
         if controller is not None:
             controller_states[profile.user_id] = controller_state_payload(controller)
 
@@ -473,8 +484,10 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
     metas: list[tuple[str, int, int, float]] = []
     controllers: dict[str, object] = {}
 
+    obs_live.set_phase("build_specs")
     with obs.span("shard.build_specs"):
         for profile in task.profiles:
+            obs_live.pulse()
             user_seq = np.random.SeedSequence(
                 task.seed, spawn_key=stable_user_key(profile.user_id)
             )
@@ -531,6 +544,8 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
         else None
     )
     link_usage: list[LinkUsageSample] = []
+    obs_live.set_shard_total(len(specs))
+    obs_live.set_phase("run_batch")
     with obs.span("shard.run_batch"):
         playbacks = backend.run_batch(
             specs, task.session_config, network=run_network, link_usage=link_usage
@@ -588,6 +603,7 @@ class FleetOrchestrator:
         abr_factory,
         network: NetworkTopology | None,
         telemetry: bool,
+        heartbeat: tuple | None = None,
     ) -> list[ShardDescriptor]:
         """Shard descriptors for the pooled path (one per non-empty shard).
 
@@ -624,6 +640,7 @@ class FleetOrchestrator:
                 controller_states=task.controller_states,
                 profile=task.profile,
                 telemetry=telemetry,
+                heartbeat=heartbeat,
             )
             for task in tasks
         ]
@@ -672,6 +689,11 @@ class FleetOrchestrator:
         abr_factory = abr_factory or HybFleetFactory()
         run_id = run_id or f"fleet-{config.seed:08d}-s{config.num_shards}-d{config.day}"
         states = controller_states or {}
+        live = obs_live.active_run()
+        if live is not None:
+            live.begin_fleet_run(
+                run_id=run_id, num_shards=config.num_shards, day=config.day
+            )
 
         with obs.span("fleet.prepare"):
             network = get_topology(config.network)
@@ -749,6 +771,7 @@ class FleetOrchestrator:
                             abr_factory=abr_factory,
                             network=network,
                             telemetry=telemetry_path is not None,
+                            heartbeat=live.worker_token() if live is not None else None,
                         )
                     )
             outputs.sort(key=lambda output: output.shard_index)
@@ -770,6 +793,19 @@ class FleetOrchestrator:
         obs.counter_add("fleet.segments", num_segments)
         obs.counter_add("fleet.shards", len(outputs))
         obs.gauge_max("fleet.workers", workers)
+
+        live_summary = None
+        if live is not None:
+            live.finish_fleet_run(sessions=len(sessions))
+            live.watchdog_tick()  # final pass so just-stalled shards are counted
+            live_summary = live.summary()
+            stragglers = live_summary["stragglers"]
+            if stragglers:
+                obs.counter_add("pool.straggler.shards", len(stragglers))
+                obs.gauge_max(
+                    "pool.straggler.stall_intervals",
+                    max(item["stalled_intervals"] for item in stragglers),
+                )
 
         result = FleetResult(
             run_id=run_id,
@@ -801,6 +837,7 @@ class FleetOrchestrator:
                     }
                     for output in outputs
                 ],
+                live=live_summary,
             )
         if telemetry_path is not None:
             with obs.span("fleet.telemetry"):

@@ -56,6 +56,7 @@ from typing import Sequence
 import numpy as np
 
 from repro import obs
+from repro.obs import live as obs_live
 from repro.sim.vector import (
     _align8,
     export_trace_columns,
@@ -151,6 +152,12 @@ class ShardDescriptor:
     #: Pre-encode the shard's telemetry events into the arena so the parent
     #: can stream them to disk without re-serialising.
     telemetry: bool = False
+    #: Live-monitoring token ``(shm_name, interval_s)`` of the parent's
+    #: :class:`repro.obs.live.LiveRun` progress table, or ``None``.  Workers
+    #: attach lazily by name (they were forked before the run existed) and
+    #: publish wall-clock heartbeats for the shard they are running — never
+    #: touching simulation state, so pooled results stay bit-identical.
+    heartbeat: tuple | None = None
 
 
 # --------------------------------------------------------------------------- #
@@ -403,6 +410,7 @@ def _worker_main(parent_conn, conn, worker_index: int) -> None:
     shared-memory arenas, alternate slots under the parent's ack protocol."""
     parent_conn.close()
     obs.disable()  # a fork may inherit an enabled parent collector
+    obs_live.reset_after_fork()  # ...and an inherited LiveRun/publisher
     from repro.fleet.orchestrator import _run_shard
     from repro.fleet.telemetry import encode_shard_events
 
@@ -449,6 +457,10 @@ def _worker_main(parent_conn, conn, worker_index: int) -> None:
                 descriptor: ShardDescriptor = message[1]
                 try:
                     start = time.perf_counter()
+                    if descriptor.heartbeat is not None:
+                        # Lazy re-attach: the run's progress table was created
+                        # after this worker forked, so it arrives by name.
+                        obs_live.attach_worker(*descriptor.heartbeat)
                     output = _run_shard(_descriptor_task(descriptor, cache))
                     telemetry = (
                         encode_shard_events(descriptor.run_id, output)

@@ -152,13 +152,29 @@ class TelemetryWriter:
         self.close()
 
 
+def iter_event_lines(path: str | Path) -> Iterator[tuple[int, bytes]]:
+    """Stream ``(byte_offset, raw_line)`` pairs of a telemetry JSONL file.
+
+    The low-level iteration primitive shared by :func:`read_events` and the
+    out-of-core reader (:mod:`repro.obs.telemetry_reader`): byte offsets are
+    what make a chunked index seekable, and lines are yielded one at a time
+    so memory stays bounded regardless of file size.  Blank lines are
+    yielded too (with their offsets) — callers decide how to treat them —
+    so offsets always add up to the file size.
+    """
+    offset = 0
+    with Path(path).open("rb") as handle:
+        for line in handle:
+            yield offset, line
+            offset += len(line)
+
+
 def read_events(path: str | Path) -> Iterator[TelemetryEvent]:
     """Stream the events of a telemetry JSONL file in order."""
-    with Path(path).open() as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                yield TelemetryEvent.from_json(line)
+    for _offset, raw in iter_event_lines(path):
+        line = raw.strip()
+        if line:
+            yield TelemetryEvent.from_json(line.decode("utf-8"))
 
 
 # --------------------------------------------------------------------------- #

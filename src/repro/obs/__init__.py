@@ -9,6 +9,14 @@ snapshots back with their results for the orchestrator to merge.
 
 All helpers are trace-neutral by construction: they never touch simulation
 state or RNG streams, so golden traces stay bit-exact with obs on or off.
+
+Live, in-flight observability lives in :mod:`repro.obs.live` (shared-memory
+heartbeats, straggler watchdog — re-exported here) and its companions
+:mod:`repro.obs.monitor` (``python -m repro.obs.monitor``),
+:mod:`repro.obs.telemetry_reader` (out-of-core telemetry aggregation), and
+:mod:`repro.obs.trace_export` (Chrome/Perfetto span timelines).  The latter
+three import the fleet/analytics layers, so they are deliberately *not*
+imported here — reach them as modules to avoid import cycles.
 """
 
 from repro.obs.core import (
@@ -25,12 +33,23 @@ from repro.obs.core import (
     observe,
     span,
 )
+from repro.obs.live import (
+    HeartbeatPublisher,
+    LiveRun,
+    ProgressTable,
+    RunStatus,
+    ShardStatus,
+    active_run,
+    live_run,
+)
 from repro.obs.registry import BUCKET_BOUNDS, Histogram, MetricsRegistry
 from repro.obs.report import (
     REPORT_VERSION,
     build_run_report,
     find_span,
     format_report,
+    load_report,
+    normalize_report,
     peak_rss_bytes,
     span_coverage,
     span_names,
@@ -40,11 +59,17 @@ from repro.obs.report import (
 __all__ = [
     "BUCKET_BOUNDS",
     "Collector",
+    "HeartbeatPublisher",
     "Histogram",
+    "LiveRun",
     "MetricsRegistry",
+    "ProgressTable",
     "REPORT_VERSION",
+    "RunStatus",
+    "ShardStatus",
     "SpanNode",
     "active",
+    "active_run",
     "build_run_report",
     "collect",
     "counter_add",
@@ -54,7 +79,10 @@ __all__ = [
     "find_span",
     "format_report",
     "gauge_max",
+    "live_run",
+    "load_report",
     "merge_shard_snapshot",
+    "normalize_report",
     "observe",
     "peak_rss_bytes",
     "span",

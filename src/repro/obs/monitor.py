@@ -1,0 +1,198 @@
+"""Attach to a running fleet/campaign and render live health.
+
+Usage::
+
+    python -m repro.obs.monitor status.json             # live TTY view
+    python -m repro.obs.monitor status.json --json      # one JSON snapshot
+    python -m repro.obs.monitor status.json --json --samples 5 --interval 1
+
+The status file is written by :class:`repro.obs.live.LiveRun` (see the
+``--live-status`` flag on ``examples/fleet_day.py``, ``examples/
+longitudinal.py`` and ``repro.experiments.runner``).  It names the
+shared-memory progress table to attach to; once the run finishes, the owner
+rewrites the file with an embedded ``final`` snapshot so the monitor still
+renders a post-mortem view after the shared memory is unlinked.
+
+The monitor is strictly read-only: it attaches to the table as a foreign
+process (detached from its own resource tracker so exiting never unlinks a
+live run's memory) and performs seqlock-consistent reads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.live import ProgressTable, RunStatus
+
+TERMINAL_STATES = ("done", "failed")
+
+
+def load_status_file(path: str | Path) -> dict:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if doc.get("kind") != "repro-live-status":
+        raise ValueError(f"{path}: not a repro live status file")
+    return doc
+
+
+def attach(doc: dict) -> ProgressTable | None:
+    """Attach to the table named by a status file; None if already gone."""
+    try:
+        return ProgressTable.attach(doc["shm_name"], foreign=True)
+    except (FileNotFoundError, ValueError, KeyError, OSError):
+        return None
+
+
+def snapshot(status_path: str | Path) -> dict:
+    """One JSON-ready health snapshot (live table or embedded final state)."""
+    doc = load_status_file(status_path)
+    table = attach(doc)
+    if table is not None:
+        try:
+            payload = table.status().as_payload()
+        finally:
+            table.close()
+        # A run can finish between our attach and read: prefer the status
+        # file's terminal state so scripted pollers see convergence.
+        if doc.get("state") in TERMINAL_STATES and payload["state"] == "running":
+            payload["state"] = doc["state"]
+        payload["source"] = "shared-memory"
+        return payload
+    final = doc.get("final")
+    if final is not None:
+        payload = dict(final)
+        payload["source"] = "status-file"
+        return payload
+    return {
+        "kind": "live-status",
+        "state": doc.get("state", "unknown"),
+        "run_id": doc.get("run_id"),
+        "source": "status-file",
+        "totals": {"sessions_done": 0, "segments_done": 0, "shards_done": 0},
+        "shards": [],
+        "stragglers": [],
+        "last_error": None,
+    }
+
+
+# ---------------------------------------------------------------------------
+# TTY rendering
+# ---------------------------------------------------------------------------
+
+
+def _bar(done: int, total: int, width: int = 24) -> str:
+    if total <= 0:
+        return "·" * width if done <= 0 else "?" * width
+    filled = max(0, min(width, round(width * done / total)))
+    return "█" * filled + "░" * (width - filled)
+
+
+def _fmt_rss(rss_bytes: int) -> str:
+    if rss_bytes <= 0:
+        return "-"
+    return f"{rss_bytes / (1024 * 1024):.0f}M"
+
+
+def _fmt_eta(eta_s) -> str:
+    if eta_s is None:
+        return "-"
+    if eta_s >= 90:
+        return f"{eta_s / 60:.1f}m"
+    return f"{eta_s:.0f}s"
+
+
+def render(payload: dict) -> str:
+    lines: list[str] = []
+    totals = payload.get("totals", {})
+    day = payload.get("day", -1)
+    days_total = payload.get("days_total", -1)
+    day_part = ""
+    if isinstance(day, int) and day >= 0:
+        day_part = f"  day {day}" + (f"/{days_total}" if isinstance(days_total, int) and days_total > 0 else "")
+    throughput = totals.get("throughput_sps")
+    lines.append(
+        f"run {payload.get('run_id', '?')}  [{payload.get('state', '?')}]{day_part}  "
+        f"sessions {totals.get('sessions_done', 0)}"
+        + (f"  {throughput:.1f}/s" if throughput else "")
+    )
+    dau = payload.get("dau")
+    roster = payload.get("roster")
+    if isinstance(dau, int) and dau >= 0:
+        roster_part = f" of {roster}" if isinstance(roster, int) and roster >= 0 else ""
+        lines.append(f"dau {dau}{roster_part}")
+    for shard in payload.get("shards", []):
+        marker = "!!" if shard.get("flagged") else "  "
+        done = shard.get("day_sessions", 0)
+        total = shard.get("day_total", -1)
+        progress = f"{done}/{total}" if total and total > 0 else f"{done}"
+        state = shard.get("state", "?")
+        phase = shard.get("phase") or ""
+        span = shard.get("span") or ""
+        detail = phase if not span else (span if span == phase else f"{phase} {span}")
+        lines.append(
+            f"{marker} shard {shard.get('shard', '?'):>3} [{_bar(done, total)}] "
+            f"{progress:>11}  {state:<7} eta {_fmt_eta(shard.get('eta_s')):>6} "
+            f"rss {_fmt_rss(shard.get('rss_bytes', 0)):>6}  {detail}"
+        )
+        if shard.get("error"):
+            lines.append(f"     └─ error: {shard['error']}")
+    stragglers = payload.get("stragglers", [])
+    if stragglers:
+        lines.append(f"stragglers: shards {sorted(stragglers)} (no progress — flagged by watchdog)")
+    if payload.get("last_error"):
+        lines.append(f"last error: {payload['last_error']}")
+    return "\n".join(lines)
+
+
+def follow(status_path: str | Path, *, interval: float, timeout: float | None, stream=None) -> int:
+    """Interactive loop: redraw until the run reaches a terminal state."""
+    stream = stream or sys.stdout
+    deadline = None if timeout is None else time.monotonic() + timeout
+    previous_lines = 0
+    while True:
+        payload = snapshot(status_path)
+        text = render(payload)
+        if previous_lines and stream.isatty():
+            stream.write(f"\x1b[{previous_lines}F\x1b[J")
+        stream.write(text + "\n")
+        stream.flush()
+        previous_lines = text.count("\n") + 1
+        if payload.get("state") in TERMINAL_STATES:
+            return 0
+        if deadline is not None and time.monotonic() >= deadline:
+            stream.write("monitor: timeout reached, run still in progress\n")
+            return 0
+        time.sleep(interval)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.monitor",
+        description="Attach to a running fleet/campaign and render live health.",
+    )
+    parser.add_argument("status_file", help="status JSON written by LiveRun (--live-status)")
+    parser.add_argument("--json", action="store_true", help="emit JSON snapshot(s) instead of a TTY view")
+    parser.add_argument("--samples", type=int, default=1, help="number of JSON snapshots to emit (JSONL when >1)")
+    parser.add_argument("--interval", type=float, default=1.0, help="seconds between snapshots/redraws")
+    parser.add_argument("--timeout", type=float, default=None, help="stop following after this many seconds")
+    args = parser.parse_args(argv)
+
+    if not args.json:
+        return follow(args.status_file, interval=args.interval, timeout=args.timeout)
+
+    samples = max(args.samples, 1)
+    for i in range(samples):
+        payload = snapshot(args.status_file)
+        print(json.dumps(payload))
+        if payload.get("state") in TERMINAL_STATES:
+            break
+        if i + 1 < samples:
+            time.sleep(args.interval)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

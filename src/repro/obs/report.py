@@ -23,7 +23,10 @@ from repro.obs.core import Collector, active
 
 #: Report documents carry a schema version so downstream tooling (the CI
 #: artifact diffing, the pretty printer) can evolve without guessing.
-REPORT_VERSION = 1
+#: v2 adds the ``live`` section (heartbeat/straggler/ETA summary from
+#: :mod:`repro.obs.live`); v1 documents stay readable — accessors and the
+#: pretty printer normalise them via :func:`normalize_report`.
+REPORT_VERSION = 2
 
 
 def peak_rss_bytes() -> int | None:
@@ -99,6 +102,7 @@ def build_run_report(
     fallback_sessions: int | None = None,
     batch_sessions: int | None = None,
     per_shard: list[dict] | None = None,
+    live: dict | None = None,
 ) -> dict:
     """Assemble the run health document from the collector's current state.
 
@@ -143,10 +147,45 @@ def build_run_report(
         "span_coverage": span_coverage(top),
         "spans": snapshot["spans"],
         "metrics": snapshot["metrics"],
+        # v2: wall-clock heartbeat/straggler/ETA summary (None when the run
+        # executed without a LiveRun attached).
+        "live": live,
     }
     if per_shard is not None:
         report["per_shard"] = per_shard
     return report
+
+
+#: Defaults that make any report document — v1, v2, or a hand-built partial
+#: one — render and replay uniformly.
+_REPORT_DEFAULTS: dict = {
+    "version": 1,
+    "run_id": "run",
+    "wall_time_s": 0.0,
+    "sessions": 0,
+    "segments": 0,
+    "sessions_per_second": 0.0,
+    "segments_per_second": 0.0,
+    "fallback": {},
+    "peak_rss_bytes": None,
+    "span_coverage": 1.0,
+    "spans": {},
+    "metrics": {},
+    "per_shard": [],
+    "live": None,
+}
+
+
+def normalize_report(report: dict) -> dict:
+    """Fill schema defaults so v1 and v2 documents share one shape.
+
+    v1 reports (no ``live``, possibly no ``per_shard``) and partial
+    documents gain the missing keys with neutral defaults; existing keys are
+    never overwritten.  The input is not mutated.
+    """
+    out = dict(_REPORT_DEFAULTS)
+    out.update(report)
+    return out
 
 
 def write_report(report: dict, path: str | Path) -> Path:
@@ -170,7 +209,13 @@ def _format_seconds(value: float) -> str:
 
 
 def format_report(report: dict, max_depth: int = 6) -> str:
-    """Human-readable rendering of a run health report."""
+    """Human-readable rendering of a run health report.
+
+    Handles v1 and v2 documents, empty runs, and zero-session days: every
+    field is read through :func:`normalize_report` defaults, and the
+    per-shard / live sections render "(none)" rather than assuming rows.
+    """
+    report = normalize_report(report)
     lines = [
         f"run health report — {report['run_id']} "
         f"(v{report.get('version', '?')})",
@@ -191,23 +236,58 @@ def format_report(report: dict, max_depth: int = 6) -> str:
         lines.append(f"  peak RSS         {rss / (1024 * 1024):.1f} MiB")
     lines.append(f"  span coverage    {report.get('span_coverage', 0.0) * 100:.1f}%")
 
+    per_shard = report.get("per_shard") or []
+    if per_shard:
+        lines.append("  per-shard (sessions / segments / wall / fallback):")
+        for row in per_shard:
+            lines.append(
+                f"    shard {row.get('shard', '?'):>3}  "
+                f"{row.get('sessions', row.get('num_sessions', 0)):>7} / "
+                f"{row.get('segments', row.get('num_segments', 0)):>8} / "
+                f"{_format_seconds(row.get('wall_time_s', 0.0))} / "
+                f"{row.get('fallback_sessions', 0)}"
+            )
+
+    live = report.get("live")
+    if live:
+        throughput = live.get("throughput_sps")
+        lines.append(
+            "  live monitor     "
+            f"interval {live.get('heartbeat_interval_s', 0.0):g}s, "
+            f"{live.get('sessions_done', 0)} sessions heartbeated"
+            + (f", {throughput:.1f}/s" if throughput else "")
+        )
+        stragglers = live.get("stragglers") or []
+        if stragglers:
+            for item in stragglers:
+                lines.append(
+                    f"    straggler shard {item.get('shard', '?')} — no progress for "
+                    f"{item.get('stalled_intervals', '?')} heartbeat intervals "
+                    f"(day {item.get('day', '?')}, phase {item.get('phase', '?')})"
+                )
+        else:
+            lines.append("    stragglers: (none)")
+
     lines.append("  spans (total / self / count):")
 
     def walk(node: dict, depth: int) -> None:
         if depth > max_depth:
             return
         children = node.get("children", [])
-        self_s = node["total_s"] - sum(c["total_s"] for c in children)
+        self_s = node.get("total_s", 0.0) - sum(c.get("total_s", 0.0) for c in children)
         lines.append(
-            f"  {'  ' * depth}{node['name']:<{max(32 - 2 * depth, 8)}} "
-            f"{_format_seconds(node['total_s'])} {_format_seconds(self_s)} "
-            f"x{node['count']}"
+            f"  {'  ' * depth}{node.get('name', '?'):<{max(32 - 2 * depth, 8)}} "
+            f"{_format_seconds(node.get('total_s', 0.0))} {_format_seconds(self_s)} "
+            f"x{node.get('count', 0)}"
         )
         for child in children:
             walk(child, depth + 1)
 
-    for child in report.get("spans", {}).get("children", []):
+    span_children = report.get("spans") or {}
+    for child in span_children.get("children", []):
         walk(child, 1)
+    if not span_children.get("children"):
+        lines.append("    (no spans recorded)")
 
     counters = report.get("metrics", {}).get("counters", {})
     if counters:
@@ -232,13 +312,40 @@ def format_report(report: dict, max_depth: int = 6) -> str:
     return "\n".join(lines)
 
 
+def load_report(path: str | Path) -> dict:
+    """Load a report from ``report.json`` **or** a telemetry ``.jsonl`` file.
+
+    A telemetry file is recognised by failing to parse as a single JSON
+    document; its last ``run_report`` event is extracted instead (profiled
+    runs embed the full report there).
+    """
+    path = Path(path)
+    text = path.read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "event" not in doc:
+        return doc
+    # Telemetry JSONL (or a single telemetry event): replay the run_report.
+    from repro.fleet.telemetry import replay_run_report  # deferred: module cycle
+
+    report = replay_run_report(path)
+    if report is None:
+        raise SystemExit(
+            f"{path}: telemetry has no run_report event (was the run profiled?)"
+        )
+    return report
+
+
 def main(argv: list[str] | None = None) -> None:
-    """``python -m repro.obs.report report.json`` — pretty-print a report."""
+    """``python -m repro.obs.report <report.json | telemetry.jsonl>``."""
     argv = sys.argv[1:] if argv is None else argv
     if len(argv) != 1:
-        raise SystemExit("usage: python -m repro.obs.report <report.json>")
-    report = json.loads(Path(argv[0]).read_text())
-    print(format_report(report))
+        raise SystemExit(
+            "usage: python -m repro.obs.report <report.json | telemetry.jsonl>"
+        )
+    print(format_report(load_report(argv[0])))
 
 
 if __name__ == "__main__":

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro import obs
 from repro.net.allocator import LinkUsageSample, allocate_step
+from repro.obs import live as obs_live
 from repro.net.topology import NetworkTopology
 from repro.sim.backend import SessionSpec, resolve_session_seeds, session_rng
 from repro.sim.player import PlayerEnvironment
@@ -220,6 +221,7 @@ def run_networked_scalar(
 
     with obs.span("networked.run_scalar"):
         for slot in range(horizon):
+            obs_live.pulse()  # wall-clock heartbeat; no-op without a live run
             runnable = alive & (slot < ends)
             if not runnable.any():
                 break

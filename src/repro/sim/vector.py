@@ -54,6 +54,7 @@ import numpy as np
 
 from repro import obs
 from repro.net.allocator import allocate_step
+from repro.obs import live as obs_live
 from repro.sim.backend import (
     ScalarBackend,
     SessionSpec,
@@ -304,6 +305,7 @@ class VectorBackend(SimBackend):
             traces = self._run_group([specs[i] for i in indices], config)
             for index, trace in zip(indices, traces):
                 results[index] = trace
+            obs_live.add_sessions(len(indices))
 
         if fallback:
             fallback_traces = ScalarBackend().run_batch(
@@ -495,6 +497,7 @@ class VectorBackend(SimBackend):
             if not active.any():
                 break
 
+            obs_live.pulse()  # wall-clock heartbeat; no-op without a live run
             with obs.span("vector.step"):
                 # Bandwidth-window statistics *before* observing this step's
                 # throughput — columns [k-8, k), exactly the scalar model's window.
@@ -691,6 +694,7 @@ class VectorBackend(SimBackend):
         active_global = np.zeros(num_sessions, dtype=bool)
 
         for k in range(horizon):
+            obs_live.pulse()  # wall-clock heartbeat; no-op without a live run
             demand[:] = 0.0
             active_global[:] = False
             stepping: list[tuple[_NetGroup, int, np.ndarray]] = []

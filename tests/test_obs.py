@@ -305,6 +305,182 @@ class TestLongitudinalProfile:
         assert report["span_coverage"] >= 0.9
 
 
+class TestReportVersions:
+    """v1/v2 schema compatibility, empty-run rendering, flexible loading."""
+
+    def _v1_report(self):
+        # the shape build_run_report produced before the `live` section
+        return {
+            "version": 1,
+            "run_id": "legacy",
+            "wall_time_s": 2.0,
+            "sessions": 10,
+            "segments": 400,
+            "sessions_per_second": 5.0,
+            "segments_per_second": 200.0,
+            "fallback": {"total_fallback_sessions": 0, "total_batch_sessions": 10},
+            "peak_rss_bytes": None,
+            "span_coverage": 1.0,
+            "spans": {"children": []},
+            "metrics": {"counters": {"fleet.sessions": 10}},
+        }
+
+    def test_normalize_fills_v1_and_partial_documents(self):
+        v1 = self._v1_report()
+        normalized = obs.normalize_report(v1)
+        assert normalized["live"] is None
+        assert normalized["per_shard"] == []
+        assert normalized["sessions"] == 10  # existing keys never overwritten
+        assert "live" not in v1  # input not mutated
+        empty = obs.normalize_report({})
+        assert empty["version"] == 1
+        assert empty["spans"] == {}
+
+    def test_v2_reports_carry_live_section(self, population, library):
+        result = _run_fleet(population, library, shards=2, profile=True)
+        report = result.obs_report
+        assert report["version"] == 2
+        assert "live" in report and report["live"] is None  # no LiveRun attached
+
+    def test_format_report_handles_v1_v2_and_empty(self, population, library):
+        v1_text = obs.format_report(self._v1_report())
+        assert "legacy" in v1_text and "(no spans recorded)" in v1_text
+        # zero-session / empty documents render rather than crash
+        empty_text = obs.format_report({})
+        assert "run health report" in empty_text
+        assert "(no spans recorded)" in empty_text
+        result = _run_fleet(population, library, shards=2, workers=2, profile=True)
+        v2_text = obs.format_report(result.obs_report)
+        assert "per-shard" in v2_text
+        assert "fleet.run_day" in v2_text
+
+    def test_format_report_renders_live_and_stragglers(self):
+        report = self._v1_report()
+        report["live"] = {
+            "heartbeat_interval_s": 0.25,
+            "sessions_done": 10,
+            "throughput_sps": 5.0,
+            "stragglers": [
+                {"shard": 1, "day": 0, "phase": "run_batch", "stalled_intervals": 9}
+            ],
+        }
+        text = obs.format_report(report)
+        assert "live monitor" in text
+        assert "straggler shard 1" in text
+        report["live"]["stragglers"] = []
+        assert "stragglers: (none)" in obs.format_report(report)
+
+    def test_load_report_accepts_json_and_telemetry(
+        self, population, library, tmp_path
+    ):
+        telemetry = tmp_path / "telemetry.jsonl"
+        result = _run_fleet(
+            population, library, shards=2, profile=True, telemetry=telemetry
+        )
+        report_path = tmp_path / "report.json"
+        obs.write_report(result.obs_report, report_path)
+        from_json = obs.load_report(report_path)
+        from_telemetry = obs.load_report(telemetry)
+        assert from_json == json.loads(json.dumps(result.obs_report))
+        assert from_telemetry == from_json
+
+    def test_load_report_rejects_unprofiled_telemetry(
+        self, population, library, tmp_path
+    ):
+        telemetry = tmp_path / "telemetry.jsonl"
+        _run_fleet(population, library, shards=2, telemetry=telemetry)
+        with pytest.raises(SystemExit, match="no run_report"):
+            obs.load_report(telemetry)
+
+    def test_report_main_prints_both_input_kinds(
+        self, population, library, tmp_path, capsys
+    ):
+        from repro.obs import report as report_mod
+
+        telemetry = tmp_path / "telemetry.jsonl"
+        result = _run_fleet(
+            population, library, shards=2, profile=True, telemetry=telemetry
+        )
+        report_path = tmp_path / "report.json"
+        obs.write_report(result.obs_report, report_path)
+        report_mod.main([str(report_path)])
+        report_mod.main([str(telemetry)])
+        out = capsys.readouterr().out
+        assert out.count("run health report") == 2
+
+
+class TestTraceExport:
+    def test_span_tree_to_events_proportional_layout(self):
+        from repro.obs.trace_export import span_tree_to_events
+
+        spans = {
+            "children": [
+                {
+                    "name": "outer",
+                    "total_s": 2.0,
+                    "count": 1,
+                    "children": [
+                        {"name": "a", "total_s": 0.5, "count": 2, "children": []},
+                        {"name": "b", "total_s": 1.0, "count": 1, "children": []},
+                    ],
+                }
+            ]
+        }
+        events = span_tree_to_events(spans)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["outer"]["ts"] == 0.0
+        assert by_name["outer"]["dur"] == 2_000_000.0
+        assert by_name["a"]["ts"] == 0.0 and by_name["a"]["dur"] == 500_000.0
+        # children are sequential: b starts where a ends
+        assert by_name["b"]["ts"] == 500_000.0
+        assert by_name["outer"]["args"]["self_s"] == pytest.approx(0.5)
+        assert all(e["ph"] == "X" for e in events)
+
+    def test_export_trace_from_report_and_telemetry(
+        self, population, library, tmp_path
+    ):
+        from repro.obs.trace_export import export_trace
+
+        telemetry = tmp_path / "telemetry.jsonl"
+        result = _run_fleet(
+            population, library, shards=2, profile=True, telemetry=telemetry
+        )
+        report_path = tmp_path / "report.json"
+        obs.write_report(result.obs_report, report_path)
+
+        out = export_trace(report_path)
+        assert out == tmp_path / "report_trace.json"
+        doc = json.loads(out.read_text())
+        slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        slice_names = {e["name"] for e in slices}
+        assert "fleet.run_day" in slice_names
+        # one slice per span-tree node
+        assert len(slices) == len(obs.span_names(result.obs_report["spans"]))
+        assert doc["otherData"]["sessions"] == result.obs_report["sessions"]
+        assert doc["otherData"]["run_id"] == result.obs_report["run_id"]
+        # nesting is preserved: each child slice fits inside its parent
+        by_name = {e["name"]: e for e in slices}
+        run_day = by_name["fleet.run_day"]
+        for event in slices:
+            if event is run_day:
+                continue
+            assert event["ts"] >= run_day["ts"]
+
+        from_telemetry = export_trace(telemetry, tmp_path / "t_trace.json")
+        assert json.loads(from_telemetry.read_text()) == doc
+
+    def test_main_cli(self, population, library, tmp_path, capsys):
+        from repro.obs import trace_export
+
+        result = _run_fleet(population, library, shards=1, profile=True)
+        report_path = tmp_path / "report.json"
+        obs.write_report(result.obs_report, report_path)
+        assert trace_export.main([str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "perfetto" in out
+        assert (tmp_path / "report_trace.json").exists()
+
+
 class TestGoldenTraceNeutrality:
     @pytest.mark.parametrize("case", ["hyb", "bola_networked"])
     @pytest.mark.parametrize("backend_name", ["scalar", "vector"])
