@@ -1,0 +1,5 @@
+"""``python -m repro.contracts`` — alias for ``repro.contracts.check``."""
+
+from repro.contracts.check import main
+
+raise SystemExit(main())

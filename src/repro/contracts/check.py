@@ -1,0 +1,225 @@
+"""The contracts gate: ``python -m repro.contracts.check``.
+
+Lints ``src/`` and ``tests/`` with every rule in
+:data:`repro.contracts.rules.ALL_RULES`, subtracts inline waivers and
+the committed baseline, validates the CONTRACTS.md ledger, and writes a
+machine-readable ``contracts_report.json`` when asked.
+
+Exit codes (CI relies on these):
+
+- ``0`` — clean: no new lint findings, ledger consistent
+- ``1`` — new lint findings (not waived, not in baseline)
+- ``2`` — ledger validation errors
+- ``3`` — both
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+
+from repro.contracts.ledger import validate_ledger
+from repro.contracts.rules import FileLint, Finding, lint_tree
+
+REPORT_VERSION = 1
+
+#: The committed baseline of grandfathered findings.  The gate is
+#: zero-*new*-violations: anything here is tolerated (and reported as
+#: baseline debt), anything not here fails the build.
+DEFAULT_BASELINE = "src/repro/contracts/baseline.json"
+
+
+def load_baseline(path: Path) -> Counter[str]:
+    """Baseline keys (rule|path|line-content) as a multiset."""
+    if not path.is_file():
+        return Counter()
+    raw = json.loads(path.read_text())
+    return Counter(raw.get("findings", []))
+
+
+def write_baseline(path: Path, keys: list[str]) -> None:
+    payload = {"version": 1, "findings": sorted(keys)}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def split_by_baseline(
+    lints: list[FileLint], baseline: Counter[str]
+) -> tuple[list[tuple[Finding, str]], list[tuple[Finding, str]], Counter[str]]:
+    """Partition findings into (new, suppressed); also report stale keys.
+
+    Returns ``(new, suppressed, stale)`` where each finding is paired
+    with its baseline key and ``stale`` counts baseline entries that no
+    longer match anything (candidates for pruning).
+    """
+    remaining = Counter(baseline)
+    new: list[tuple[Finding, str]] = []
+    suppressed: list[tuple[Finding, str]] = []
+    for lint in lints:
+        for finding in lint.findings:
+            key = finding.baseline_key(lint.source_lines)
+            if remaining[key] > 0:
+                remaining[key] -= 1
+                suppressed.append((finding, key))
+            else:
+                new.append((finding, key))
+    stale = Counter({key: n for key, n in remaining.items() if n > 0})
+    return new, suppressed, stale
+
+
+def run_check(
+    root: Path,
+    baseline_path: Path | None = None,
+    report_path: Path | None = None,
+    lint_only: bool = False,
+    ledger_only: bool = False,
+    update_baseline: bool = False,
+    out=sys.stdout,
+) -> int:
+    """Run the full gate; returns the process exit code."""
+    baseline_path = baseline_path or root / DEFAULT_BASELINE
+    lints = lint_tree(root)
+    baseline = load_baseline(baseline_path)
+    new, suppressed, stale = split_by_baseline(lints, baseline)
+
+    if update_baseline:
+        keys = [k for _, k in new + suppressed]
+        write_baseline(baseline_path, keys)
+        print(f"baseline rewritten: {len(keys)} finding(s) grandfathered", file=out)
+        new, suppressed, stale = [], [(f, k) for f, k in new + suppressed], Counter()
+
+    ledger = None
+    if not lint_only:
+        ledger = validate_ledger(root)
+
+    exit_code = 0
+    if not ledger_only:
+        for finding, _ in sorted(
+            new, key=lambda item: (item[0].path, item[0].line, item[0].col)
+        ):
+            print(finding.render(), file=out)
+        if new:
+            exit_code |= 1
+        waived_total = sum(len(lint.waived) for lint in lints)
+        print(
+            f"contracts lint: {sum(len(l.findings) for l in lints)} finding(s) "
+            f"({len(new)} new, {len(suppressed)} baseline-suppressed), "
+            f"{waived_total} waived, {len(stale)} stale baseline key(s) "
+            f"across {len(lints)} files",
+            file=out,
+        )
+    if ledger is not None:
+        for error in ledger.errors:
+            print(f"ledger: {error}", file=out)
+        if ledger.errors:
+            exit_code |= 2
+        print(
+            f"contracts ledger: {len(ledger.entries)} entries, "
+            f"{len(ledger.anchors)} anchors, {len(ledger.errors)} error(s)",
+            file=out,
+        )
+
+    if report_path is not None:
+        report = {
+            "version": REPORT_VERSION,
+            "root": str(root),
+            "exit_code": exit_code,
+            "files_checked": len(lints),
+            "new_findings": [
+                {
+                    "rule": f.rule_id,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "message": f.message,
+                    "baseline_key": key,
+                }
+                for f, key in new
+            ],
+            "baseline_suppressed": [
+                {"rule": f.rule_id, "path": f.path, "line": f.line, "baseline_key": key}
+                for f, key in suppressed
+            ],
+            "stale_baseline_keys": sorted(stale.elements()),
+            "waived": [
+                {
+                    "rule": f.rule_id,
+                    "path": f.path,
+                    "line": f.line,
+                    "reason": reason,
+                }
+                for lint in lints
+                for f, reason in lint.waived
+            ],
+            "anchors": [
+                {
+                    "rule": a.rule_id,
+                    "path": a.path,
+                    "line": a.line,
+                    "kind": "waiver" if a.is_waiver else "anchor",
+                    "reason": a.reason,
+                }
+                for lint in lints
+                for a in lint.anchors
+            ],
+            "ledger": None
+            if ledger is None
+            else {
+                "entries": sorted(ledger.entries),
+                "errors": ledger.errors,
+            },
+        }
+        report_path.parent.mkdir(parents=True, exist_ok=True)
+        report_path.write_text(json.dumps(report, indent=2) + "\n")
+    return exit_code
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.contracts.check",
+        description="machine-check the determinism-contract ledger",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path.cwd(),
+        help="repo root holding src/, tests/ and CONTRACTS.md (default: cwd)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help=f"baseline file (default: <root>/{DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help="write a machine-readable contracts_report.json here",
+    )
+    parser.add_argument(
+        "--lint-only", action="store_true", help="skip the ledger cross-check"
+    )
+    parser.add_argument(
+        "--ledger-only", action="store_true", help="skip lint output (still computed)"
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather every current finding into the baseline and exit 0",
+    )
+    args = parser.parse_args(argv)
+    return run_check(
+        root=args.root.resolve(),
+        baseline_path=args.baseline,
+        report_path=args.report,
+        lint_only=args.lint_only,
+        ledger_only=args.ledger_only,
+        update_baseline=args.write_baseline,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,190 @@
+"""CONTRACTS.md parser + three-way ledger/code/tests cross-check.
+
+The ledger is only worth having if it cannot rot.  ``validate_ledger``
+enforces, in both directions:
+
+- every ledger entry has ≥1 ``# contract: <ID>`` code anchor (plain or
+  waiver) somewhere under ``src/`` or ``tests/``;
+- every ledger entry names ≥1 pinning test that actually exists
+  (``tests/<file>.py`` must be a file; ``tests/<file>.py::<name>`` must
+  also resolve to a ``def``/``class`` in that file);
+- every anchor in the code refers to a ledger entry (orphan anchors —
+  a typo'd or deleted ID — fail);
+- every machine-checked ledger entry has a registered rule in
+  :data:`repro.contracts.rules.ALL_RULES`, and vice versa.
+
+Delete a ledger entry, an anchor, or a pinning test and the validator
+fails: the ledger, the code and the test suite cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.contracts.rules import ALL_RULES, Anchor, iter_python_files, scan_anchors
+
+#: ``## DET-RNG-001 — <title>`` section headings.
+_ENTRY_HEADING = re.compile(
+    r"^##\s+(?P<id>[A-Z][A-Z0-9]*(?:-[A-Z0-9]+)*-\d{3})\s*[—-]\s*(?P<title>.+?)\s*$"
+)
+#: Backticked test references inside the "Pinning tests" bullet.
+_TEST_REF = re.compile(r"`(?P<ref>tests/[\w./-]+\.py(?:::[\w.]+)?)`")
+_FIELD = re.compile(r"^-\s+\*\*(?P<name>[A-Za-z ]+):\*\*\s*(?P<value>.*)$")
+
+
+@dataclass
+class LedgerEntry:
+    """One contract in CONTRACTS.md."""
+
+    rule_id: str
+    title: str
+    statement: str = ""
+    scope: str = ""
+    check: str = ""
+    pinning_tests: list[str] = field(default_factory=list)
+    line: int = 0
+
+    @property
+    def machine_checked(self) -> bool:
+        return "ast" in self.check.lower()
+
+
+@dataclass
+class LedgerReport:
+    """Validation outcome: entries, anchors, and every cross-check error."""
+
+    entries: dict[str, LedgerEntry] = field(default_factory=dict)
+    anchors: list[Anchor] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def parse_ledger(text: str) -> tuple[dict[str, LedgerEntry], list[str]]:
+    """Parse CONTRACTS.md into entries; returns (entries, parse errors)."""
+    entries: dict[str, LedgerEntry] = {}
+    errors: list[str] = []
+    current: LedgerEntry | None = None
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        heading = _ENTRY_HEADING.match(line)
+        if heading:
+            current = LedgerEntry(
+                rule_id=heading.group("id"),
+                title=heading.group("title"),
+                line=lineno,
+            )
+            if current.rule_id in entries:
+                errors.append(
+                    f"CONTRACTS.md:{lineno}: duplicate ledger entry "
+                    f"{current.rule_id}"
+                )
+            entries[current.rule_id] = current
+            continue
+        if line.startswith("## "):
+            current = None  # a non-entry section ends the current entry
+            continue
+        if current is None:
+            continue
+        fieldm = _FIELD.match(line.strip())
+        if not fieldm:
+            continue
+        name = fieldm.group("name").strip().lower()
+        value = fieldm.group("value").strip()
+        if name == "statement":
+            current.statement = value
+        elif name == "scope":
+            current.scope = value
+        elif name == "check":
+            current.check = value
+        elif name == "pinning tests":
+            current.pinning_tests = [m.group("ref") for m in _TEST_REF.finditer(value)]
+    for entry in entries.values():
+        if not entry.statement:
+            errors.append(
+                f"CONTRACTS.md:{entry.line}: {entry.rule_id} has no "
+                "**Statement:** field"
+            )
+        if not entry.pinning_tests:
+            errors.append(
+                f"CONTRACTS.md:{entry.line}: {entry.rule_id} names no "
+                "pinning tests (need >=1 `tests/...` reference)"
+            )
+    return entries, errors
+
+
+def _test_ref_exists(root: Path, ref: str) -> str | None:
+    """None when the reference resolves, else a human-readable problem."""
+    if "::" in ref:
+        file_part, name = ref.split("::", 1)
+    else:
+        file_part, name = ref, None
+    test_path = root / file_part
+    if not test_path.is_file():
+        return f"pinning test file {file_part} does not exist"
+    if name is not None:
+        # methods are referenced as Class.test_name; match the last leg
+        leg = name.split(".")[-1]
+        text = test_path.read_text()
+        if not re.search(rf"^\s*(?:def|class)\s+{re.escape(leg)}\b", text, re.M):
+            return f"pinning test {ref} not found in {file_part}"
+    return None
+
+
+def collect_anchors(root: Path) -> list[Anchor]:
+    """Every ``# contract:`` comment under ``root/src`` and ``root/tests``."""
+    anchors: list[Anchor] = []
+    for file_path in iter_python_files(root):
+        rel = file_path.relative_to(root).as_posix()
+        anchors.extend(scan_anchors(rel, file_path.read_text()))
+    return anchors
+
+
+def validate_ledger(root: Path, ledger_path: Path | None = None) -> LedgerReport:
+    """Cross-check CONTRACTS.md against code anchors and pinning tests."""
+    report = LedgerReport()
+    ledger_path = ledger_path or root / "CONTRACTS.md"
+    if not ledger_path.is_file():
+        report.errors.append(f"ledger file {ledger_path} does not exist")
+        return report
+    report.entries, parse_errors = parse_ledger(ledger_path.read_text())
+    report.errors.extend(parse_errors)
+    report.anchors = collect_anchors(root)
+
+    anchored_ids = {anchor.rule_id for anchor in report.anchors}
+
+    for rule_id in sorted(report.entries):
+        entry = report.entries[rule_id]
+        if rule_id not in anchored_ids:
+            report.errors.append(
+                f"{rule_id}: no `# contract: {rule_id}` code anchor under "
+                "src/ or tests/ — the ledger entry is unanchored"
+            )
+        for ref in entry.pinning_tests:
+            problem = _test_ref_exists(root, ref)
+            if problem:
+                report.errors.append(f"{rule_id}: {problem}")
+
+    for anchor in report.anchors:
+        if anchor.rule_id not in report.entries:
+            report.errors.append(
+                f"{anchor.path}:{anchor.line}: orphan anchor "
+                f"`# contract: {anchor.rule_id}` — no such ledger entry in "
+                "CONTRACTS.md"
+            )
+
+    ledger_machine = {r for r, e in report.entries.items() if e.machine_checked}
+    for rule_id in sorted(set(ALL_RULES) - ledger_machine):
+        report.errors.append(
+            f"{rule_id}: implemented in repro.contracts.rules but not "
+            "recorded as an ast-checked entry in CONTRACTS.md"
+        )
+    for rule_id in sorted(ledger_machine - set(ALL_RULES)):
+        report.errors.append(
+            f"{rule_id}: CONTRACTS.md claims an ast check but no rule is "
+            "registered in repro.contracts.rules.ALL_RULES"
+        )
+    return report

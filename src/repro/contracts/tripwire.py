@@ -1,0 +1,126 @@
+"""Runtime determinism tripwire (``REPRO_CONTRACTS=strict``).
+
+The AST pass in :mod:`repro.contracts.rules` sees call *sites*; it
+cannot see a global RNG reached through a callback, ``getattr``, or a
+third-party helper.  The tripwire closes that gap dynamically: it
+monkeypatches the global entry points themselves —
+``random.<draw fns>``, ``numpy.random.<legacy global fns>``,
+``time.time``/``time_ns`` and (in pure-sim scope) ``perf_counter`` —
+with guards that raise :class:`ContractViolation` whenever the
+*caller's frame* lives in a trace-affecting package.  Callers outside
+the guarded scope (tests, obs, benchmarks) pass through untouched, so
+the suite behaves identically except that a contract breach becomes a
+loud test failure instead of a silent golden-trace drift.
+
+Activated by the autouse fixture in ``tests/conftest.py`` when
+``REPRO_CONTRACTS=strict``; usable directly as a context manager::
+
+    with strict_tripwire():
+        run_fleet_day(...)
+"""
+
+from __future__ import annotations
+
+import os
+import random as _random_module
+import sys
+import time as _time_module
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+#: Path fragments identifying trace-affecting frames.  ``fleet`` keeps
+#: waived ``perf_counter`` wall-time telemetry (excluded from bit-exact
+#: comparison), so it is guarded for RNG + ``time.time`` but not for
+#: the monotonic counters.
+RNG_GUARDED = (
+    "repro/sim/", "repro/abr/", "repro/users/", "repro/net/",
+    "repro/fleet/", "repro/core/", "repro/nn/", "repro/bayesopt/",
+    "repro/datasets/",
+)
+CLOCK_GUARDED = RNG_GUARDED
+#: Monotonic counters are additionally banned only where not even
+#: wall-time telemetry is allowed (pure simulation math).
+COUNTER_GUARDED = (
+    "repro/sim/", "repro/abr/", "repro/users/", "repro/net/",
+    "repro/core/", "repro/nn/", "repro/bayesopt/",
+)
+
+_STDLIB_RANDOM_FNS = (
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "seed", "getrandbits",
+)
+_NUMPY_GLOBAL_FNS = (
+    "random", "rand", "randn", "random_sample", "randint", "choice",
+    "uniform", "normal", "standard_normal", "shuffle", "permutation",
+    "seed", "exponential", "poisson", "binomial",
+)
+_TIME_FNS = ("time", "time_ns")
+_COUNTER_FNS = ("perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns")
+
+
+class ContractViolation(AssertionError):
+    """A determinism contract was breached at runtime."""
+
+
+def _caller_is_guarded(fragments: tuple[str, ...], depth: int = 2) -> str | None:
+    """The offending filename when the caller's frame is in scope."""
+    frame = sys._getframe(depth)
+    filename = frame.f_code.co_filename.replace(os.sep, "/")
+    for fragment in fragments:
+        if fragment in filename:
+            return f"{filename}:{frame.f_lineno}"
+    return None
+
+
+def _guard(
+    original: Callable, name: str, rule_id: str, fragments: tuple[str, ...]
+) -> Callable:
+    def guarded(*args, **kwargs):
+        site = _caller_is_guarded(fragments)
+        if site is not None:
+            raise ContractViolation(
+                f"{rule_id}: {name}() called from trace-affecting code at "
+                f"{site} under REPRO_CONTRACTS=strict; thread an explicit "
+                "seeded Generator / simulated clock through instead"
+            )
+        return original(*args, **kwargs)
+
+    guarded.__name__ = getattr(original, "__name__", name.rsplit(".", 1)[-1])
+    guarded.__wrapped__ = original
+    return guarded
+
+
+@contextmanager
+def strict_tripwire() -> Iterator[None]:
+    """Install the guards; restores every patched attribute on exit."""
+    patched: list[tuple[object, str, object]] = []
+
+    def patch(owner: object, attr: str, name: str, rule: str, scope: tuple[str, ...]):
+        original = getattr(owner, attr, None)
+        if original is None or getattr(original, "__wrapped__", None) is not None:
+            return
+        patched.append((owner, attr, original))
+        setattr(owner, attr, _guard(original, name, rule, scope))
+
+    for fn in _STDLIB_RANDOM_FNS:
+        patch(_random_module, fn, f"random.{fn}", "DET-RNG-001", RNG_GUARDED)
+    for fn in _NUMPY_GLOBAL_FNS:
+        patch(np.random, fn, f"np.random.{fn}", "DET-RNG-001", RNG_GUARDED)
+    for fn in _TIME_FNS:
+        patch(_time_module, fn, f"time.{fn}", "DET-CLOCK-002", CLOCK_GUARDED)
+    for fn in _COUNTER_FNS:
+        patch(_time_module, fn, f"time.{fn}", "DET-CLOCK-002", COUNTER_GUARDED)
+    try:
+        yield
+    finally:
+        for owner, attr, original in reversed(patched):
+            setattr(owner, attr, original)
+
+
+def strict_mode_requested(environ: dict[str, str] | None = None) -> bool:
+    """True when the environment opts the test run into the tripwire."""
+    env = os.environ if environ is None else environ
+    return env.get("REPRO_CONTRACTS", "").strip().lower() == "strict"

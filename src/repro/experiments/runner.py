@@ -93,11 +93,11 @@ def run_all(
     def step(name: str, fn) -> None:
         if name not in selected:
             return
-        start = time.time()
+        start = time.time()  # contract: DET-CLOCK-002 exempt(progress display only; never reaches figures or traces)
         with obs.span(f"runner.{name}"):
             results[name] = fn()
         if verbose:
-            print(f"{name}: done in {time.time() - start:.1f}s")
+            print(f"{name}: done in {time.time() - start:.1f}s")  # contract: DET-CLOCK-002 exempt(progress display only; never reaches figures or traces)
 
     step("fig01", lambda: fig01_qos_saturation.run(substrate=substrate))
     step("fig02", lambda: fig02_opportunities.run(substrate=substrate))

@@ -28,7 +28,7 @@ CHECKPOINT_VERSION = 1
 #: the returned document carries a strictly newer ``version``.  Loading walks
 #: the chain until it reaches :data:`CHECKPOINT_VERSION`; a version with no
 #: registered migration is **rejected**, never restored blindly.
-_MIGRATIONS: dict[int, Callable[[dict], dict]] = {}
+_MIGRATIONS: dict[int, Callable[[dict], dict]] = {}  # contract: CKPT-006
 
 
 def register_checkpoint_migration(

@@ -385,7 +385,7 @@ def _run_shard_impl(task: ShardTask) -> ShardOutput:
     """
     if task.backend != "scalar" or task.network is not None or task.spec_batched:
         return _run_shard_batched(task)
-    start = time.perf_counter()
+    start = time.perf_counter()  # contract: DET-CLOCK-002 exempt(wall-time telemetry only; excluded from bit-exact comparison)
     rng = np.random.default_rng(task.seed_seq)
     engine = PlaybackSession(task.session_config)
     sessions: list[SessionLog] = []
@@ -435,7 +435,7 @@ def _run_shard_impl(task: ShardTask) -> ShardOutput:
         sessions=sessions,
         controller_states=controller_states,
         num_segments=num_segments,
-        wall_time_s=time.perf_counter() - start,
+        wall_time_s=time.perf_counter() - start,  # contract: DET-CLOCK-002 exempt(wall-time telemetry only; excluded from bit-exact comparison)
     )
 
 
@@ -478,7 +478,7 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
     differ from a ``backend="scalar"`` run of the same seed, which keeps its
     historical shard-RNG routing.
     """
-    start = time.perf_counter()
+    start = time.perf_counter()  # contract: DET-CLOCK-002 exempt(wall-time telemetry only; excluded from bit-exact comparison)
     backend = get_backend(task.backend)
     specs: list[SessionSpec] = []
     metas: list[tuple[str, int, int, float]] = []
@@ -563,7 +563,7 @@ def _run_shard_batched(task: ShardTask) -> ShardOutput:
             for user_id, controller in controllers.items()
         },
         num_segments=sum(len(playback) for playback in playbacks),
-        wall_time_s=time.perf_counter() - start,
+        wall_time_s=time.perf_counter() - start,  # contract: DET-CLOCK-002 exempt(wall-time telemetry only; excluded from bit-exact comparison)
         link_usage=link_usage,
         fallback_sessions=fallback_sessions,
         batch_sessions=len(specs),
@@ -684,7 +684,7 @@ class FleetOrchestrator:
     ) -> FleetResult:
         config = self.config
         profiling = obs.enabled()
-        run_started = time.perf_counter()
+        run_started = time.perf_counter()  # contract: DET-CLOCK-002 exempt(wall-time telemetry only; excluded from bit-exact comparison)
         scenario = get_scenario(scenario)
         abr_factory = abr_factory or HybFleetFactory()
         run_id = run_id or f"fleet-{config.seed:08d}-s{config.num_shards}-d{config.day}"
@@ -742,7 +742,7 @@ class FleetOrchestrator:
             ]
 
         workers = self._resolve_workers()
-        start = time.perf_counter()
+        start = time.perf_counter()  # contract: DET-CLOCK-002 exempt(wall-time telemetry only; excluded from bit-exact comparison)
         with obs.span("fleet.run_shards"):
             # Both execution paths emit the same span skeleton
             # (``shard.spawn``, then ``shard.map`` wrapping
@@ -777,7 +777,7 @@ class FleetOrchestrator:
             outputs.sort(key=lambda output: output.shard_index)
             for output in outputs:
                 obs.merge_shard_snapshot(output.obs)
-        wall_time = time.perf_counter() - start
+        wall_time = time.perf_counter() - start  # contract: DET-CLOCK-002 exempt(wall-time telemetry only; excluded from bit-exact comparison)
 
         with obs.span("fleet.merge"):
             sessions: list[SessionLog] = []
@@ -824,7 +824,7 @@ class FleetOrchestrator:
                 run_id=run_id,
                 sessions=len(sessions),
                 segments=num_segments,
-                wall_time_s=time.perf_counter() - run_started,
+                wall_time_s=time.perf_counter() - run_started,  # contract: DET-CLOCK-002 exempt(wall-time telemetry only; excluded from bit-exact comparison)
                 fallback_sessions=result.total_fallback_sessions,
                 batch_sessions=result.total_batch_sessions,
                 per_shard=[

@@ -456,7 +456,7 @@ def _worker_main(parent_conn, conn, worker_index: int) -> None:
             elif kind == "run":
                 descriptor: ShardDescriptor = message[1]
                 try:
-                    start = time.perf_counter()
+                    start = time.perf_counter()  # contract: DET-CLOCK-002 exempt(pack-time telemetry only; excluded from bit-exact comparison)
                     if descriptor.heartbeat is not None:
                         # Lazy re-attach: the run's progress table was created
                         # after this worker forked, so it arrives by name.
@@ -487,6 +487,7 @@ def _worker_main(parent_conn, conn, worker_index: int) -> None:
                             arena.size * 2 if arena is not None else 0,
                             nbytes,
                         )
+                        # contract: SHM-005 exempt(creating worker unlinks on growth and in its finally; parent reaps via _reap_crash and terminated-worker shutdown)
                         arena = shared_memory.SharedMemory(
                             create=True, size=capacity
                         )
@@ -509,7 +510,7 @@ def _worker_main(parent_conn, conn, worker_index: int) -> None:
                                 "fallback_sessions": output.fallback_sessions,
                                 "batch_sessions": output.batch_sessions,
                                 "obs": output.obs,
-                                "pack_time_s": time.perf_counter() - start,
+                                "pack_time_s": time.perf_counter() - start,  # contract: DET-CLOCK-002 exempt(pack-time telemetry only; excluded from bit-exact comparison)
                                 "result_bytes": nbytes,
                             },
                         )
@@ -744,15 +745,25 @@ class WorkerPool:
                 conn.send(("stop",))
             except (BrokenPipeError, OSError):
                 pass
-        for _, shm in self._attachments.values():
-            shm.close()
-        self._attachments.clear()
-        deadline = time.monotonic() + timeout
-        for process in self._processes:
-            process.join(timeout=max(0.0, deadline - time.monotonic()))
+        deadline = time.monotonic() + timeout  # contract: DET-CLOCK-002 exempt(shutdown deadline only; never reaches simulation state)
+        terminated: set[int] = set()
+        for worker, process in enumerate(self._processes):
+            process.join(timeout=max(0.0, deadline - time.monotonic()))  # contract: DET-CLOCK-002 exempt(shutdown deadline only; never reaches simulation state)
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=1.0)
+                terminated.add(worker)
+        for (owner, _slot), (_name, shm) in self._attachments.items():
+            shm.close()
+            if owner in terminated:
+                # A terminated worker never ran its unlink-all finally;
+                # reap its known arenas here or they leak in /dev/shm
+                # until interpreter exit.  # contract: SHM-005
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+        self._attachments.clear()
         for conn in self._conns:
             conn.close()
         self._cache.clear()

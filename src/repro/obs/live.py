@@ -287,7 +287,7 @@ class ProgressTable:
 
     @classmethod
     def create(cls, rows: int, *, interval: float, run_id: str) -> "ProgressTable":
-        shm = shared_memory.SharedMemory(create=True, size=cls.size_for(rows))
+        shm = shared_memory.SharedMemory(create=True, size=cls.size_for(rows))  # contract: SHM-005 exempt(owning LiveRun unlinks via ProgressTable.close(owner=True); foreign attaches untracked)
         table = cls(shm, rows, owner=True)
         shm.buf[: table.size_for(rows)] = b"\x00" * table.size_for(rows)
         table.write_header(

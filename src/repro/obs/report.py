@@ -328,7 +328,7 @@ def load_report(path: str | Path) -> dict:
     if isinstance(doc, dict) and "event" not in doc:
         return doc
     # Telemetry JSONL (or a single telemetry event): replay the run_report.
-    from repro.fleet.telemetry import replay_run_report  # deferred: module cycle
+    from repro.fleet.telemetry import replay_run_report  # deferred: module cycle  # contract: OBS-NEUTRAL-004 exempt(read-only replay of a persisted report; no sim state)
 
     report = replay_run_report(path)
     if report is None:

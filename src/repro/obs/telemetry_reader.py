@@ -30,6 +30,7 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+# contract: OBS-NEUTRAL-004 exempt(read-only telemetry codec; decodes events without touching sim state)
 from repro.fleet.telemetry import (
     TelemetryEvent,
     iter_event_lines,
@@ -302,7 +303,7 @@ def stream_fleet_metrics(path: str | Path, *, index: TelemetryIndex | None = Non
     :func:`repro.fleet.orchestrator.fleet_metrics`, in the same file order,
     so every float matches the in-memory result bit-for-bit.
     """
-    from repro.fleet.orchestrator import FleetMetrics  # heavy import, deferred
+    from repro.fleet.orchestrator import FleetMetrics  # heavy import, deferred  # contract: OBS-NEUTRAL-004 exempt(result dataclass only; aggregates replayed read-only)
 
     num_sessions = 0
     num_segments = 0

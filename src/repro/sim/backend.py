@@ -83,6 +83,7 @@ class SessionSpec:
 
 
 def session_rng(seed: int | np.random.SeedSequence) -> np.random.Generator:
+    # contract: DET-RNG-001
     """Per-session `Philox` substream generator for a resolved spec seed.
 
     Both backends build session RNGs exclusively through this function, so a

@@ -301,7 +301,7 @@ class VectorBackend(SimBackend):
                 fallback.append(index)
         self._record_fallback(len(fallback), len(specs))
 
-        for key, indices in sorted(groups.items(), key=lambda item: item[0][0]):
+        for key, indices in sorted(groups.items(), key=lambda item: item[0][0]):  # contract: DET-ITER-003
             traces = self._run_group([specs[i] for i in indices], config)
             for index, trace in zip(indices, traces):
                 results[index] = trace
@@ -668,7 +668,7 @@ class VectorBackend(SimBackend):
 
         # Scalar cohort: reference sessions, reset up front exactly like
         # run_networked_scalar (shared instances keep "one brain" semantics).
-        scalar_order = sorted(scalar_set)
+        scalar_order = sorted(scalar_set)  # contract: DET-ITER-003
         live: dict[int, _LiveSession] = {
             index: _LiveSession(specs[index], specs[index].seed, config)
             for index in scalar_order

@@ -10,6 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.contracts.tripwire import strict_mode_requested, strict_tripwire
 from repro.experiments.common import SubstrateConfig, build_substrate
 from repro.sim.bandwidth import BandwidthTrace, StationaryTraceGenerator
 from repro.sim.video import BitrateLadder, Video, VideoLibrary
@@ -37,6 +38,24 @@ def pytest_addoption(parser: pytest.Parser) -> None:
 def regen_golden(request: pytest.FixtureRequest) -> bool:
     """True when the run should rewrite the golden corpus."""
     return bool(request.config.getoption("--regen-golden"))
+
+
+@pytest.fixture(scope="session", autouse=True)
+def contracts_tripwire():
+    """``REPRO_CONTRACTS=strict``: arm the runtime determinism tripwire.
+
+    For the whole session, global-RNG and wall-clock entry points raise
+    :class:`repro.contracts.tripwire.ContractViolation` when called from
+    trace-affecting frames (``repro/sim``, ``repro/fleet``, …), so a
+    dynamic path the AST linter cannot see fails loudly instead of
+    silently drifting a golden trace.  CI runs the golden-trace and
+    property-fuzz suites under this mode.  # contract: DET-RNG-001
+    """
+    if not strict_mode_requested():
+        yield
+        return
+    with strict_tripwire():
+        yield
 
 
 @pytest.fixture

@@ -150,7 +150,7 @@ class TestProgressTable:
     def test_attach_rejects_foreign_segment(self):
         from multiprocessing import shared_memory
 
-        shm = shared_memory.SharedMemory(create=True, size=1024)
+        shm = shared_memory.SharedMemory(create=True, size=1024)  # contract: SHM-005 exempt(test-local segment; unlinked in the finally below)
         try:
             with pytest.raises(ValueError, match="not a repro live progress table"):
                 ProgressTable.attach(shm.name)

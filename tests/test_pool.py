@@ -335,6 +335,35 @@ class TestPoolLifecycle:
         result = _run_fleet(population, library, shards=2, workers=2)
         assert len(result.logs) > 0
 
+    def test_shutdown_reaps_arenas_of_terminated_workers(self, population, library):
+        """SHM-005 regression: a worker that never honours "stop" gets
+        terminated by shutdown(); its finally-block unlink never runs, so
+        the parent must reap the arenas it knows about or they leak in
+        /dev/shm until interpreter exit."""
+        import signal
+
+        pool = WorkerPool(2)
+        _run_fleet(population, library, shards=4, workers=2, pool=pool)
+        names = sorted({name for name, _shm in pool._attachments.values()})
+        assert names, "expected parent-side arena attachments after a pooled run"
+        pids = [process.pid for process in pool._processes]
+        for pid in pids:
+            os.kill(pid, signal.SIGSTOP)  # workers can no longer honour "stop"
+        try:
+            pool.shutdown(timeout=0.2)
+            if os.path.isdir("/dev/shm"):
+                leaked = [
+                    n for n in names if os.path.exists("/dev/shm/" + n.lstrip("/"))
+                ]
+                assert not leaked, f"terminated workers' arenas leaked: {leaked}"
+        finally:
+            for pid in pids:
+                try:
+                    os.kill(pid, signal.SIGCONT)
+                    os.kill(pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+
     def test_shutdown_releases_all_shm_segments(self, population, library):
         before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
         pool = WorkerPool(2)
