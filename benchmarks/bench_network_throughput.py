@@ -6,7 +6,11 @@ Two measurements on the same N-session HYB workload:
   shared-bottleneck topology at N ∈ {64, 1024}.  The per-slot fair-share
   allocation must stay bounded: ≤2x slowdown at N=1024 (asserted).  The
   topology is provisioned generously so the traces stay comparable in
-  length (congestion changes session dynamics, not just timing).
+  length (congestion changes session dynamics, not just timing).  A third
+  column times the **path-aware** allocator on a 3-tier variant of the same
+  topology (edges → peering → origin with a 50% CDN cache): the iterated
+  per-path water-fill plus the cache draws must stay within a bounded
+  multiple of the flat allocator (≤4x over uncoupled at N=1024, asserted).
 * **Emergent congestion** — on a fixed hot link, mean allocated throughput
   per session must fall monotonically as concurrency rises (asserted), with
   the utilization climbing toward 1: nobody scales a trace, the collapse
@@ -34,7 +38,7 @@ from emit import emit_bench
 from repro.abr.hyb import HYB
 from repro.analytics.logs import LinkUtilizationLog
 from repro.experiments.common import format_table
-from repro.net import EdgeLink, NetworkTopology
+from repro.net import CacheModel, EdgeLink, NetworkTopology
 from repro.sim import SessionSpec, get_backend, spawn_session_seeds
 from repro.sim.bandwidth import StationaryTraceGenerator
 from repro.sim.session import SessionConfig
@@ -44,6 +48,8 @@ from repro.users.population import UserPopulation
 DEFAULT_SIZES = (64, 1024)
 #: Acceptance ceiling: the allocator's cost at the largest batch.
 MAX_SLOWDOWN_AT_1024 = 2.0
+#: Ceiling for the path-aware (multi-tier) allocator over the uncoupled run.
+MAX_TIERED_SLOWDOWN_AT_1024 = 4.0
 
 
 def _build_specs(num_sessions: int) -> list[SessionSpec]:
@@ -79,6 +85,30 @@ def _roomy_topology(num_sessions: int) -> NetworkTopology:
     )
 
 
+def _tiered_topology(num_sessions: int) -> NetworkTopology:
+    """The roomy 8-edge topology with peering/origin tiers and a warm cache."""
+    per_link_sessions = max(num_sessions / 8, 1.0)
+    capacity = 4000.0 * per_link_sessions
+    edges = tuple(
+        EdgeLink(
+            f"edge{i}",
+            capacity,
+            uplinks=(f"peer{i % 2}", "origin"),
+        )
+        for i in range(8)
+    )
+    upstream = (
+        EdgeLink("peer0", capacity * 4, tier="peering"),
+        EdgeLink("peer1", capacity * 4, tier="peering"),
+        EdgeLink("origin", capacity * 8, tier="origin"),
+    )
+    return NetworkTopology(
+        name="roomy8_3tier",
+        links=edges + upstream,
+        cache=CacheModel(hit_ratio=0.5),
+    )
+
+
 def _time_run(specs, network) -> float:
     backend = get_backend("vector")
     config = SessionConfig()
@@ -95,25 +125,37 @@ def run_overhead_bench(sizes=DEFAULT_SIZES, check_overhead: bool = True) -> list
         specs = _build_specs(num_sessions)
         plain_time = _time_run(specs, None)
         networked_time = _time_run(specs, _roomy_topology(num_sessions))
+        tiered_time = _time_run(specs, _tiered_topology(num_sessions))
         rows.append(
             {
                 "sessions": num_sessions,
                 "plain_sps": num_sessions / plain_time,
                 "networked_sps": num_sessions / networked_time,
+                "tiered_sps": num_sessions / tiered_time,
                 "slowdown": networked_time / plain_time,
+                "tiered_slowdown": tiered_time / plain_time,
             }
         )
 
     print("\nnetworked vector backend overhead (8-link roomy topology):")
     print(
         format_table(
-            ["N", "uncoupled sessions/s", "networked sessions/s", "slowdown"],
+            [
+                "N",
+                "uncoupled sessions/s",
+                "networked sessions/s",
+                "slowdown",
+                "3-tier sessions/s",
+                "3-tier slowdown",
+            ],
             [
                 [
                     row["sessions"],
                     f"{row['plain_sps']:.0f}",
                     f"{row['networked_sps']:.0f}",
                     f"{row['slowdown']:.2f}x",
+                    f"{row['tiered_sps']:.0f}",
+                    f"{row['tiered_slowdown']:.2f}x",
                 ]
                 for row in rows
             ],
@@ -125,6 +167,10 @@ def run_overhead_bench(sizes=DEFAULT_SIZES, check_overhead: bool = True) -> list
                 assert row["slowdown"] <= MAX_SLOWDOWN_AT_1024, (
                     f"allocator overhead {row['slowdown']:.2f}x at "
                     f"N={row['sessions']} (need <= {MAX_SLOWDOWN_AT_1024}x)"
+                )
+                assert row["tiered_slowdown"] <= MAX_TIERED_SLOWDOWN_AT_1024, (
+                    f"path-aware overhead {row['tiered_slowdown']:.2f}x at "
+                    f"N={row['sessions']} (need <= {MAX_TIERED_SLOWDOWN_AT_1024}x)"
                 )
     return rows
 
@@ -201,7 +247,11 @@ def run_bench(sizes=None, check_overhead: bool = True) -> dict:
     emit_bench(
         "network_throughput",
         results,
-        config={"sizes": list(sizes), "max_slowdown_at_1024": MAX_SLOWDOWN_AT_1024},
+        config={
+            "sizes": list(sizes),
+            "max_slowdown_at_1024": MAX_SLOWDOWN_AT_1024,
+            "max_tiered_slowdown_at_1024": MAX_TIERED_SLOWDOWN_AT_1024,
+        },
     )
     return results
 

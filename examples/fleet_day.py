@@ -25,7 +25,7 @@ from repro.fleet import (
     replay_link_utilization,
     replay_log_collection,
 )
-from repro.net import available_topologies, get_topology
+from repro.net import ALLOCATORS, available_topologies, get_topology
 from repro.sim import available_backends
 from repro.sim.video import VideoLibrary
 from repro.users.population import UserPopulation
@@ -54,6 +54,16 @@ def main() -> None:
         help=(
             "shared-bottleneck topology: sessions fair-share edge-link "
             "capacity and congestion becomes emergent (default: uncoupled)"
+        ),
+    )
+    parser.add_argument(
+        "--allocator",
+        default=None,
+        choices=ALLOCATORS,
+        help=(
+            "override the topology's bandwidth allocator (requires "
+            "--network): iterated path-aware water-filling or the "
+            "Low-Lapsley primal-dual engine"
         ),
     )
     parser.add_argument("--users", type=int, default=500)
@@ -112,9 +122,12 @@ def main() -> None:
             seed=args.seed,
             backend=args.backend,
             network=args.network,
+            allocator=args.allocator,
         )
     )
     network_label = f", {args.network} network" if args.network else ""
+    if args.allocator:
+        network_label += f" ({args.allocator} allocator)"
     print(
         f"simulating {args.users} users x {args.sessions_per_user} sessions "
         f"({args.scenario}{network_label}) on {args.shards} shards / "

@@ -57,7 +57,12 @@ from repro.fleet.telemetry import (
     iter_shard_events,
 )
 from repro.net.allocator import LinkUsageSample
-from repro.net.topology import NetworkTopology, get_topology, stable_user_key
+from repro.net.topology import (
+    ALLOCATORS,
+    NetworkTopology,
+    get_topology,
+    stable_user_key,
+)
 from repro.sim.backend import SessionSpec, get_backend
 from repro.sim.session import PlaybackSession, SessionConfig
 from repro.sim.video import VideoLibrary
@@ -142,6 +147,12 @@ class FleetConfig:
     #: through the spec-batched path regardless of backend, and emit
     #: per-slot link-utilization telemetry.
     network: str | NetworkTopology | None = None
+    #: Rate-control algorithm override for networked runs: a name from
+    #: :data:`repro.net.topology.ALLOCATORS` (``"max_min_fair"`` /
+    #: ``"low_lapsley"``), or ``None`` to keep whatever the topology itself
+    #: selects.  Applied after scenario shaping, so one fleet config can A/B
+    #: allocators on any registered topology.
+    allocator: str | None = None
     #: Force the spec-batched shard path even for un-networked
     #: ``backend="scalar"`` runs.  On that path both backends resolve the
     #: same per-user identity-keyed RNG substreams, so a scalar run is
@@ -155,6 +166,14 @@ class FleetConfig:
             raise ValueError("num_shards must be positive")
         get_backend(self.backend)  # fail fast on unknown backend names
         get_topology(self.network)  # ... and unknown topology names
+        if self.allocator is not None:
+            if self.allocator not in ALLOCATORS:
+                raise ValueError(
+                    f"unknown allocator {self.allocator!r}; "
+                    f"available: {list(ALLOCATORS)}"
+                )
+            if self.network is None:
+                raise ValueError("allocator requires a networked run (network=...)")
         if self.num_workers is not None and self.num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         if self.sessions_per_user is not None and self.sessions_per_user <= 0:
@@ -699,6 +718,8 @@ class FleetOrchestrator:
             network = get_topology(config.network)
             if network is not None:
                 network = scenario.network_for(network)
+                if config.allocator is not None:
+                    network = replace(network, allocator=config.allocator)
                 # Shard by edge link: a link's whole contention set lives in
                 # one shard, so fair-share coupling never crosses a shard
                 # boundary.

@@ -179,6 +179,11 @@ def _encode_result_arrays(output) -> tuple[dict, bytes, bytes]:
         links.setdefault(sample.link_id, len(links))
         for sample in output.link_usage
     ]
+    # Tier travels in the string table, parallel to ``links`` (a link's tier
+    # is constant within a run, so one entry per link id suffices).
+    link_tiers: dict[str, str] = {}
+    for sample in output.link_usage:
+        link_tiers.setdefault(sample.link_id, sample.tier)
     arrays = {
         "session.user": np.asarray(user_idx, dtype=np.int32),
         "session.trace": np.asarray(trace_idx, dtype=np.int32),
@@ -213,6 +218,7 @@ def _encode_result_arrays(output) -> tuple[dict, bytes, bytes]:
             "users": list(users),
             "traces": list(trace_names),
             "links": list(links),
+            "link_tiers": [link_tiers[link_id] for link_id in links],
         }
     ).encode("utf-8")
     controller = pickle.dumps(
@@ -320,6 +326,7 @@ def _decode_shard_output(buf, layout: dict, shard_index: int, extra: dict):
             )
         )
     ]
+    link_tiers = strings.get("link_tiers") or ["edge"] * len(strings["links"])
     link_usage = [
         LinkUsageSample(
             step=step,
@@ -328,6 +335,7 @@ def _decode_shard_output(buf, layout: dict, shard_index: int, extra: dict):
             active_sessions=active,
             demand_kbps=demand,
             allocated_kbps=allocated,
+            tier=link_tiers[link],
         )
         for step, link, active, capacity, demand, allocated in zip(
             get_list("usage.step"),

@@ -7,7 +7,7 @@ Scenarios are plain picklable objects so they travel to worker processes
 unchanged, and all randomness flows through the per-shard RNG the orchestrator
 hands in — the same seed always produces the same traffic.
 
-Seven workloads ship built-in (the registry is open for more):
+Ten workloads ship built-in (the registry is open for more):
 
 ``steady_state``
     Every user behaves exactly like their profile says — the baseline.
@@ -31,6 +31,13 @@ Seven workloads ship built-in (the registry is open for more):
     of being injected by trace scaling.  Without a network they degrade
     gracefully to steady-state-like runs (start slots and topology shaping
     have no effect on uncoupled sessions).
+``cache_storm`` / ``origin_overload`` / ``peering_brownout``
+    **Multi-tier** workloads for topologies with uplink chains
+    (edge → peering → origin, e.g. ``cdn_3tier``): edge caches go cold and
+    miss traffic floods upstream, the origin throttles mid-day, or peering
+    links brown out — congestion concentrated on tiers that only cache-miss
+    downloads traverse.  On flat topologies they degrade to an arrival
+    surge / largest-link capacity shock.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from typing import Callable
 import numpy as np
 
 from repro.net.topology import (
+    CacheModel,
     CrossTraffic,
     LinkEvent,
     NetworkTopology,
@@ -59,6 +67,9 @@ __all__ = [
     "EveningPeakScenario",
     "RegionalDegradationScenario",
     "DeviceMixScenario",
+    "CacheStormScenario",
+    "OriginOverloadScenario",
+    "PeeringBrownoutScenario",
     "available_scenarios",
     "get_scenario",
     "register_scenario",
@@ -381,6 +392,147 @@ class EveningPeakScenario(Scenario):
         return min(int(draw), self.day_slots - 1)
 
 
+class CacheStormScenario(Scenario):
+    """Edge caches go cold: most downloads traverse the full upstream path.
+
+    On a multi-tier topology (:class:`~repro.net.topology.CacheModel` +
+    ``EdgeLink.uplinks``) the scenario replaces the cache with a much colder
+    one and multiplies session counts with a surge window, so miss traffic
+    floods the peering and origin tiers — the CDN cache-storm regime where
+    edge capacity is fine but upstream links melt.  On flat topologies the
+    cache override is inert and the scenario degrades to an arrival surge.
+    """
+
+    name = "cache_storm"
+    description = "cold CDN caches push an arrival surge onto peering/origin"
+
+    def __init__(
+        self,
+        hit_ratio: float = 0.1,
+        session_multiplier: float = 2.0,
+        day_slots: int = 64,
+        surge_slot: int = 12,
+        surge_width: int = 12,
+        surge_fraction: float = 0.6,
+    ) -> None:
+        if not 0.0 <= hit_ratio <= 1.0:
+            raise ValueError("hit_ratio must be in [0, 1]")
+        if session_multiplier < 1.0:
+            raise ValueError("session_multiplier must be at least 1")
+        if day_slots <= 0 or surge_width <= 0:
+            raise ValueError("day_slots and surge_width must be positive")
+        if not 0 <= surge_slot < day_slots:
+            raise ValueError("surge_slot must fall inside the day")
+        if not 0 <= surge_fraction <= 1:
+            raise ValueError("surge_fraction must be in [0, 1]")
+        self.hit_ratio = hit_ratio
+        self.session_multiplier = session_multiplier
+        self.day_slots = day_slots
+        self.surge_slot = surge_slot
+        self.surge_width = surge_width
+        self.surge_fraction = surge_fraction
+
+    def network_for(self, topology: NetworkTopology) -> NetworkTopology:
+        salt = topology.cache.salt if topology.cache is not None else "cdn-cache"
+        return replace(topology, cache=CacheModel(self.hit_ratio, salt=salt))
+
+    def sessions_for(self, profile: UserProfile, rng: np.random.Generator) -> int:
+        return max(1, int(round(profile.sessions_per_day * self.session_multiplier)))
+
+    def start_for(
+        self, profile: UserProfile, session_index: int, rng: np.random.Generator
+    ) -> int:
+        if rng.random() < self.surge_fraction:
+            return int(self.surge_slot + rng.integers(self.surge_width))
+        return int(rng.integers(self.day_slots))
+
+
+class _TierEventScenario(Scenario):
+    """Shared machinery: a capacity event on every link of one tier.
+
+    Subclasses fix the tier; when the topology has no link of that tier the
+    event falls back to the largest link (so the scenario still produces a
+    mid-day capacity shock on flat topologies).
+    """
+
+    tier = "origin"
+
+    def __init__(
+        self,
+        event_start: int = 16,
+        event_end: int = 40,
+        capacity_multiplier: float = 0.35,
+        day_slots: int = 64,
+    ) -> None:
+        if day_slots <= 0:
+            raise ValueError("day_slots must be positive")
+        self.event_start = event_start
+        self.event_end = event_end
+        self.capacity_multiplier = capacity_multiplier
+        self.day_slots = day_slots
+
+    def target_links(self, topology: NetworkTopology) -> list[str]:
+        """Every link of the target tier, else the largest link."""
+        targets = [
+            link.link_id for link in topology.links if link.tier == self.tier
+        ]
+        if targets:
+            return targets
+        fallback = max(
+            topology.links, key=lambda link: (link.capacity_kbps, link.link_id)
+        )
+        return [fallback.link_id]
+
+    def network_for(self, topology: NetworkTopology) -> NetworkTopology:
+        event = LinkEvent(self.event_start, self.event_end, self.capacity_multiplier)
+        for link_id in self.target_links(topology):
+            topology = topology.with_event(link_id, event)
+        return topology
+
+    def start_for(
+        self, profile: UserProfile, session_index: int, rng: np.random.Generator
+    ) -> int:
+        return int(rng.integers(self.day_slots))
+
+
+class OriginOverloadScenario(_TierEventScenario):
+    """The CDN origin loses most of its capacity for a mid-day window.
+
+    Cache misses from every edge funnel through the origin link, so the
+    window throttles exactly the miss traffic: edge-only (cache-hit)
+    downloads sail on while full-path sessions collapse to the origin's
+    shrunken fair shares — the telemetry signature is origin-tier rows
+    pinned at utilization 1.0 with edge rows mostly idle.
+    """
+
+    name = "origin_overload"
+    description = "origin-tier links lose capacity mid-day; misses feel it"
+    tier = "origin"
+
+
+class PeeringBrownoutScenario(_TierEventScenario):
+    """ISP peering links brown out (partial capacity) for a mid-day window.
+
+    Peering sits between the edges and the origin, so the brownout splits
+    the fleet by path: sessions whose edge feeds the browned-out peering
+    link lose miss throughput, sessions on other edges are untouched — an
+    ISP-vs-ISP asymmetry natural experiment.
+    """
+
+    name = "peering_brownout"
+    description = "peering-tier links brown out for a mid-day window"
+    tier = "peering"
+
+    def __init__(
+        self,
+        event_start: int = 20,
+        event_end: int = 44,
+        capacity_multiplier: float = 0.4,
+        day_slots: int = 64,
+    ) -> None:
+        super().__init__(event_start, event_end, capacity_multiplier, day_slots)
+
+
 # --------------------------------------------------------------------------- #
 # Registry
 # --------------------------------------------------------------------------- #
@@ -419,3 +571,6 @@ register_scenario("device_mix", DeviceMixScenario)
 register_scenario("flash_crowd_shared", FlashCrowdSharedScenario)
 register_scenario("link_outage", LinkOutageScenario)
 register_scenario("evening_peak", EveningPeakScenario)
+register_scenario("cache_storm", CacheStormScenario)
+register_scenario("origin_overload", OriginOverloadScenario)
+register_scenario("peering_brownout", PeeringBrownoutScenario)

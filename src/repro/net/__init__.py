@@ -8,17 +8,31 @@ of load rather than exogenous trace scaling:
   with deterministic (md5-stable) user attachment, scheduled capacity events
   and diurnal cross-traffic, plus a named-topology registry.
 * :mod:`repro.net.allocator` — vectorized weighted max-min (water-filling)
-  allocation and the per-slot :func:`allocate_step` shared by the scalar and
-  vector simulation engines.
+  allocation, its path-aware multi-tier generalisation, the ``low_lapsley``
+  primal-dual optimization-flow-control allocator, and the per-slot
+  :func:`allocate_step` shared by the scalar and vector simulation engines.
+
+Multi-tier topologies chain edge links to ISP peering and CDN origin links
+(``EdgeLink.uplinks``); a deterministic :class:`CacheModel` decides per
+(user, segment) whether a download stays on the edge (cache hit) or
+traverses the full path (miss).
 
 The package is a leaf dependency (numpy only): :mod:`repro.sim` builds its
 networked stepping modes on top of it, and :mod:`repro.fleet` shards users
 by link so allocation coupling stays inside one shard.
 """
 
-from repro.net.allocator import LinkUsageSample, allocate_step, max_min_fair
+from repro.net.allocator import (
+    LinkUsageSample,
+    allocate_step,
+    low_lapsley,
+    max_min_fair,
+    path_water_fill,
+)
 from repro.net.topology import (
+    ALLOCATORS,
     MIN_LINK_CAPACITY_KBPS,
+    CacheModel,
     CrossTraffic,
     EdgeLink,
     LinkEvent,
@@ -33,8 +47,12 @@ from repro.net.topology import (
 __all__ = [
     "LinkUsageSample",
     "allocate_step",
+    "low_lapsley",
     "max_min_fair",
+    "path_water_fill",
+    "ALLOCATORS",
     "MIN_LINK_CAPACITY_KBPS",
+    "CacheModel",
     "CrossTraffic",
     "EdgeLink",
     "LinkEvent",

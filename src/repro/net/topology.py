@@ -23,6 +23,7 @@ from __future__ import annotations
 import hashlib
 import math
 from dataclasses import dataclass, replace
+from functools import cached_property
 from typing import Callable, Sequence
 
 import numpy as np
@@ -30,6 +31,10 @@ import numpy as np
 #: Usable link capacity never drops below this (keeps Equation 3 finite even
 #: during outages: downloads become very slow, not undefined).
 MIN_LINK_CAPACITY_KBPS = 10.0
+
+#: Allocators a topology (or FleetConfig) may select; implementations live in
+#: :mod:`repro.net.allocator`.
+ALLOCATORS = ("low_lapsley", "max_min_fair")
 
 
 def _stable_digest(user_id: str, salt: str) -> str:
@@ -93,8 +98,11 @@ class CrossTraffic:
         changes — how longitudinal campaigns evolve background load across
         simulated days.
         """
-        if factor < 0:
-            raise ValueError("factor must be non-negative")
+        if not math.isfinite(factor) or factor < 0:
+            raise ValueError(
+                f"cross-traffic scale factor must be finite and non-negative, "
+                f"got {factor!r}"
+            )
         return replace(
             self, base_kbps=self.base_kbps * factor, peak_kbps=self.peak_kbps * factor
         )
@@ -120,12 +128,52 @@ class LinkEvent:
 
 
 @dataclass(frozen=True)
+class CacheModel:
+    """Deterministic per-user CDN edge-cache model.
+
+    Segment ``k`` of a user's playback is an edge-cache **hit** (download
+    stays on the edge link) or a **miss** (download traverses the edge link's
+    full upstream path) according to the stable-digest draw
+    ``stable_fraction(f"{user_id}:{k}", salt) < hit_ratio`` — a pure function
+    of identity, so every backend, shard and worker agrees segment for
+    segment.
+    """
+
+    hit_ratio: float
+    salt: str = "cdn-cache"
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.hit_ratio <= 1.0):  # NaN fails this too
+            raise ValueError(
+                f"hit_ratio must be a finite value in [0, 1], got {self.hit_ratio!r}"
+            )
+
+    def is_miss(self, user_id: str, segment_index: int) -> bool:
+        """True when segment ``segment_index`` misses the edge cache."""
+        return (
+            stable_fraction(f"{user_id}:{segment_index}", self.salt)
+            >= self.hit_ratio
+        )
+
+    def miss_profile(self, user_id: str, num_segments: int) -> np.ndarray:
+        """Boolean miss mask for a user's first ``num_segments`` segments."""
+        return np.fromiter(
+            (self.is_miss(user_id, k) for k in range(num_segments)),
+            dtype=bool,
+            count=num_segments,
+        )
+
+
+@dataclass(frozen=True)
 class EdgeLink:
     """One shared bottleneck link.
 
     ``user_share`` is the link's relative weight in user attachment: a link
     with twice the share of another attracts (deterministically) twice the
-    users.
+    users.  Users only ever attach to ``tier == "edge"`` links; upstream
+    tiers (``"peering"``, ``"origin"``) are reached through an edge link's
+    ``uplinks`` chain — the ordered link ids a cache-miss download traverses
+    beyond the edge.
     """
 
     link_id: str
@@ -133,6 +181,8 @@ class EdgeLink:
     user_share: float = 1.0
     cross_traffic: CrossTraffic | None = None
     events: tuple[LinkEvent, ...] = ()
+    tier: str = "edge"
+    uplinks: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.link_id:
@@ -141,6 +191,17 @@ class EdgeLink:
             raise ValueError("capacity_kbps must be positive")
         if self.user_share <= 0:
             raise ValueError("user_share must be positive")
+        if not self.tier:
+            raise ValueError("tier must be non-empty")
+        if self.uplinks and self.tier != "edge":
+            raise ValueError(
+                f"only edge-tier links may declare uplinks; {self.link_id!r} "
+                f"is tier {self.tier!r}"
+            )
+        if len(set(self.uplinks)) != len(self.uplinks):
+            raise ValueError(f"duplicate uplinks on {self.link_id!r}: {self.uplinks}")
+        if self.link_id in self.uplinks:
+            raise ValueError(f"{self.link_id!r} cannot be its own uplink")
 
     def capacity_at(self, step: int) -> float:
         """Usable capacity (kbps) for sessions during slot ``step``."""
@@ -155,11 +216,23 @@ class EdgeLink:
 
 @dataclass(frozen=True)
 class NetworkTopology:
-    """An immutable set of edge links with deterministic user attachment."""
+    """An immutable set of links with deterministic user attachment.
+
+    Flat topologies (every link ``tier == "edge"``, no ``uplinks``) behave
+    exactly as before.  Multi-tier topologies add upstream links that a
+    download traverses on an edge-cache miss (see :class:`CacheModel`):
+    the session's rate is then bounded by every link on its path.
+    ``allocator`` names the rate-control algorithm of
+    :mod:`repro.net.allocator` used for the topology (``"max_min_fair"``
+    water-filling or ``"low_lapsley"`` primal-dual optimization flow
+    control).
+    """
 
     links: tuple[EdgeLink, ...]
     name: str = "topology"
     salt: str = "net-link"
+    cache: CacheModel | None = None
+    allocator: str = "max_min_fair"
 
     def __post_init__(self) -> None:
         if not self.links:
@@ -167,6 +240,23 @@ class NetworkTopology:
         ids = [link.link_id for link in self.links]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate link ids in topology: {ids}")
+        if self.allocator not in ALLOCATORS:
+            raise ValueError(
+                f"unknown allocator {self.allocator!r}; "
+                f"available: {list(ALLOCATORS)}"
+            )
+        known = set(ids)
+        edge_tiers = 0
+        for link in self.links:
+            if link.tier == "edge":
+                edge_tiers += 1
+            missing = [up for up in link.uplinks if up not in known]
+            if missing:
+                raise ValueError(
+                    f"link {link.link_id!r} references unknown uplinks {missing}"
+                )
+        if edge_tiers == 0:
+            raise ValueError("a topology needs at least one edge-tier link")
 
     @property
     def num_links(self) -> int:
@@ -184,16 +274,51 @@ class NetworkTopology:
                 return index
         raise KeyError(f"unknown link {link_id!r}; available: {list(self.link_ids)}")
 
+    @cached_property
+    def has_tiers(self) -> bool:
+        """True when any link declares an upstream path (multi-tier topology)."""
+        return any(link.uplinks for link in self.links)
+
+    @cached_property
+    def edge_indices(self) -> tuple[int, ...]:
+        """Topology indices of the user-attachable (edge-tier) links."""
+        return tuple(
+            index for index, link in enumerate(self.links) if link.tier == "edge"
+        )
+
+    @cached_property
+    def path_matrix(self) -> np.ndarray:
+        """Boolean ``(num_links, num_links)``: ``[e, l]`` = link ``l`` is on
+        the full (cache-miss) path of edge link ``e``.  Rows of non-edge
+        links are just their own one-hot (they never originate sessions)."""
+        matrix = np.eye(self.num_links, dtype=bool)
+        index = {link.link_id: i for i, link in enumerate(self.links)}
+        for i, link in enumerate(self.links):
+            for up in link.uplinks:
+                matrix[i, index[up]] = True
+        return matrix
+
+    def path_for(self, link_id: str) -> tuple[str, ...]:
+        """Full cache-miss path of an edge link: itself, then its uplinks."""
+        link = self.links[self.index_of(link_id)]
+        return (link.link_id, *link.uplinks)
+
     def link_index_for(self, user_id: str) -> int:
-        """Deterministic link attachment of a user (``user_share``-weighted)."""
+        """Deterministic link attachment of a user (``user_share``-weighted).
+
+        Only edge-tier links attract users; upstream tiers are reached via
+        ``uplinks`` on cache misses.  On flat topologies (every link is edge
+        tier) this is the historical attachment, bit for bit.
+        """
         draw = stable_fraction(user_id, self.salt)
-        total = sum(link.user_share for link in self.links)
+        edge = self.edge_indices
+        total = sum(self.links[index].user_share for index in edge)
         cumulative = 0.0
-        for index, link in enumerate(self.links):
-            cumulative += link.user_share / total
+        for index in edge:
+            cumulative += self.links[index].user_share / total
             if draw < cumulative:
                 return index
-        return len(self.links) - 1
+        return edge[-1]
 
     def link_for(self, user_id: str) -> EdgeLink:
         """The edge link a user attaches to."""
@@ -226,6 +351,13 @@ class NetworkTopology:
         composes with scenario shaping (e.g. ``evening_peak`` adds the
         profiles, the longitudinal drift then grows them day over day).
         """
+        if not math.isfinite(factor) or factor < 0:
+            # validate up front even when no link carries cross traffic —
+            # otherwise a bad factor only explodes links-deep into a run
+            raise ValueError(
+                f"cross-traffic scale factor must be finite and non-negative, "
+                f"got {factor!r}"
+            )
         return replace(
             self,
             links=tuple(
@@ -252,11 +384,49 @@ class NetworkTopology:
             self, links=tuple(link for link in self.links if link.link_id in keep)
         )
 
+    @cached_property
+    def _components(self) -> tuple[tuple[int, ...], ...]:
+        """Connected components of the uplink graph, each a tuple of link
+        indices in topology order; components ordered by smallest member.
+
+        Links sharing any path must co-shard (the allocator couples them), so
+        sharding distributes whole components.  On flat topologies every link
+        is a singleton component in topology order, which reproduces the
+        historical per-link round-robin exactly.
+        """
+        parent = list(range(self.num_links))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        index = {link.link_id: i for i, link in enumerate(self.links)}
+        for i, link in enumerate(self.links):
+            for up in link.uplinks:
+                root_a, root_b = find(i), find(index[up])
+                if root_a != root_b:
+                    parent[max(root_a, root_b)] = min(root_a, root_b)
+        members: dict[int, list[int]] = {}
+        for i in range(self.num_links):
+            members.setdefault(find(i), []).append(i)
+        return tuple(tuple(members[root]) for root in sorted(members))
+
     def shard_links(self, num_shards: int) -> list[list[str]]:
-        """Round-robin assignment of link ids to shards (some may be empty)."""
+        """Round-robin assignment of link ids to shards (some may be empty).
+
+        Whole uplink-connected components are assigned together so a shard
+        always owns every link of each of its sessions' paths.
+        """
         if num_shards <= 0:
             raise ValueError("num_shards must be positive")
-        return [list(self.link_ids[i::num_shards]) for i in range(num_shards)]
+        shards: list[list[str]] = [[] for _ in range(num_shards)]
+        for position, component in enumerate(self._components):
+            shards[position % num_shards].extend(
+                self.links[i].link_id for i in component
+            )
+        return shards
 
     def shard_profiles(self, profiles: Sequence, num_shards: int) -> list[list]:
         """Shard user profiles *by link* so allocation coupling stays intra-shard.
@@ -338,6 +508,31 @@ def _metro_8() -> NetworkTopology:
     )
 
 
+def _cdn_3tier() -> NetworkTopology:
+    """Three-tier CDN: edge caches → ISP peering → shared origin.
+
+    Edge capacities sum to 135 Mbps against 110 Mbps of peering and an
+    80 Mbps origin, so cold caches (misses traversing the full path) push
+    congestion upstream — the cache-storm / origin-overload regime.
+    """
+    return NetworkTopology(
+        name="cdn_3tier",
+        cache=CacheModel(hit_ratio=0.7),
+        links=(
+            EdgeLink("edge_a", 60_000.0, user_share=0.4,
+                     uplinks=("peer_a", "origin")),
+            EdgeLink("edge_b", 45_000.0, user_share=0.35,
+                     uplinks=("peer_a", "origin")),
+            EdgeLink("edge_c", 30_000.0, user_share=0.25,
+                     uplinks=("peer_b", "origin")),
+            EdgeLink("peer_a", 70_000.0, tier="peering"),
+            EdgeLink("peer_b", 40_000.0, tier="peering"),
+            EdgeLink("origin", 80_000.0, tier="origin"),
+        ),
+    )
+
+
 register_topology("single_bottleneck", _single_bottleneck)
 register_topology("dual_isp", _dual_isp)
 register_topology("metro_8", _metro_8)
+register_topology("cdn_3tier", _cdn_3tier)

@@ -37,7 +37,10 @@ from repro.fleet.telemetry import (
     session_from_payload,
 )
 
-INDEX_VERSION = 1
+# v2: adds file_mtime_ns to the freshness fingerprint (a rewritten file with
+# identical byte length used to keep serving the stale sidecar).  Bumping the
+# version makes v1 sidecars fail ``load`` and rebuild transparently.
+INDEX_VERSION = 2
 DEFAULT_EVENTS_PER_CHUNK = 1024
 
 __all__ = [
@@ -86,9 +89,9 @@ class ChunkEntry:
 class TelemetryIndex:
     """Sidecar index of a telemetry JSONL file.
 
-    The index stores the indexed file's size so staleness is detectable:
-    :func:`load_or_build_index` silently rebuilds when the file grew or
-    shrank since the index was written.
+    The index stores the indexed file's size *and* mtime so staleness is
+    detectable: :func:`load_or_build_index` silently rebuilds when the file
+    grew, shrank, or was rewritten in place with the same byte length.
     """
 
     path: str
@@ -97,6 +100,7 @@ class TelemetryIndex:
     events_per_chunk: int
     event_counts: dict
     chunks: tuple
+    file_mtime_ns: int = 0
 
     # -- construction ------------------------------------------------------
 
@@ -133,13 +137,15 @@ class TelemetryIndex:
             chunks.append(
                 ChunkEntry(chunk_start, end - chunk_start, chunk_events, chunk_counts)
             )
+        stat = Path(path).stat()
         return cls(
             path=str(path),
-            file_bytes=Path(path).stat().st_size,
+            file_bytes=stat.st_size,
             num_events=sum(totals.values()),
             events_per_chunk=events_per_chunk,
             event_counts=totals,
             chunks=tuple(chunks),
+            file_mtime_ns=stat.st_mtime_ns,
         )
 
     # -- persistence -------------------------------------------------------
@@ -151,6 +157,7 @@ class TelemetryIndex:
             "version": INDEX_VERSION,
             "path": str(self.path),
             "file_bytes": self.file_bytes,
+            "file_mtime_ns": self.file_mtime_ns,
             "num_events": self.num_events,
             "events_per_chunk": self.events_per_chunk,
             "event_counts": dict(self.event_counts),
@@ -175,6 +182,7 @@ class TelemetryIndex:
             events_per_chunk=int(doc["events_per_chunk"]),
             event_counts={str(k): int(v) for k, v in doc.get("event_counts", {}).items()},
             chunks=tuple(ChunkEntry.from_payload(raw) for raw in doc.get("chunks", [])),
+            file_mtime_ns=int(doc.get("file_mtime_ns", 0)),
         )
 
     # -- queries -----------------------------------------------------------
@@ -204,7 +212,13 @@ def load_or_build_index(
     if index_path.exists():
         try:
             index = TelemetryIndex.load(index_path)
-            if index.file_bytes == Path(path).stat().st_size:
+            stat = Path(path).stat()
+            # Size alone misses an in-place rewrite of identical length, so
+            # freshness is (size, mtime_ns) — both must match.
+            if (
+                index.file_bytes == stat.st_size
+                and index.file_mtime_ns == stat.st_mtime_ns
+            ):
                 return index
         except (ValueError, KeyError, json.JSONDecodeError):
             pass  # corrupt or stale: rebuild below

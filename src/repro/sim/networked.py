@@ -219,6 +219,25 @@ def run_networked_scalar(
     demand = np.zeros(num_sessions)
     horizon = int(ends.max())
 
+    # Multi-tier topologies: precompute each session's deterministic
+    # per-segment cache-miss profile (identity-keyed, so both engines and
+    # every shard agree).  No cache model on a tiered topology means every
+    # download traverses the full path.
+    tiered = network.has_tiers
+    full_path: np.ndarray | None = None
+    miss_profiles: list[np.ndarray] = []
+    if tiered:
+        full_path = np.zeros(num_sessions, dtype=bool)
+        if network.cache is not None:
+            miss_profiles = [
+                network.cache.miss_profile(spec.user_id, session.limit)
+                for spec, session in zip(specs, sessions)
+            ]
+        else:
+            miss_profiles = [
+                np.ones(session.limit, dtype=bool) for session in sessions
+            ]
+
     with obs.span("networked.run_scalar"):
         for slot in range(horizon):
             obs_live.pulse()  # wall-clock heartbeat; no-op without a live run
@@ -228,10 +247,21 @@ def run_networked_scalar(
             active = runnable & (starts <= slot)
             obs.counter_add("networked.slots")
             demand[:] = 0.0
+            if tiered:
+                full_path[:] = False
             for index in np.flatnonzero(active):
                 demand[index] = sessions[index].demand_at(slot)
+                if tiered:
+                    full_path[index] = miss_profiles[index][slot - starts[index]]
             allocations = allocate_step(
-                network, slot, link_index, demand, active, weights, usage_out=link_usage
+                network,
+                slot,
+                link_index,
+                demand,
+                active,
+                weights,
+                usage_out=link_usage,
+                full_path=full_path,
             )
             # Event order: (slot, batch index) ascending.
             with obs.span("networked.session_step"):

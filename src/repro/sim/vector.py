@@ -171,6 +171,7 @@ class _NetGroup:
     exit_kernel: object | None
     uniforms: np.ndarray | None
     host: object | None = None
+    miss: np.ndarray | None = None  # (n, max_steps) cache-miss mask (tiered)
     # mutable lockstep state
     buffer: np.ndarray = field(init=False)
     last_level: np.ndarray = field(init=False)
@@ -693,10 +694,43 @@ class VectorBackend(SimBackend):
         demand = np.zeros(num_sessions)
         active_global = np.zeros(num_sessions, dtype=bool)
 
+        # Multi-tier topologies: identity-keyed per-segment cache-miss masks,
+        # computed exactly like the scalar reference (same ``CacheModel``
+        # draws, keyed by (user_id, local segment index)).
+        tiered = network.has_tiers
+        full_path: np.ndarray | None = None
+        live_miss: dict[int, np.ndarray] = {}
+        if tiered:
+            full_path = np.zeros(num_sessions, dtype=bool)
+            profile_rows: dict[tuple[str, int], np.ndarray] = {}
+
+            def _miss_row(user_id: str, length: int) -> np.ndarray:
+                if network.cache is None:
+                    return np.ones(length, dtype=bool)
+                row = profile_rows.get((user_id, length))
+                if row is None:
+                    row = network.cache.miss_profile(user_id, length)
+                    profile_rows[(user_id, length)] = row
+                return row
+
+            for group in groups:
+                group.miss = np.stack(
+                    [
+                        _miss_row(spec.user_id, group.max_steps)
+                        for spec in group.specs
+                    ]
+                )
+            live_miss = {
+                index: _miss_row(specs[index].user_id, live[index].limit)
+                for index in scalar_order
+            }
+
         for k in range(horizon):
             obs_live.pulse()  # wall-clock heartbeat; no-op without a live run
             demand[:] = 0.0
             active_global[:] = False
+            if tiered:
+                full_path[:] = False
             stepping: list[tuple[_NetGroup, int, np.ndarray]] = []
             runnable_any = False
             for group in groups:
@@ -717,6 +751,8 @@ class VectorBackend(SimBackend):
                         active, group.bandwidth[:, j], 0.0
                     )
                     active_global[group.indices] = active
+                    if tiered:
+                        full_path[group.indices] = active & group.miss[:, j]
             live_stepping: list[int] = []
             for index in scalar_order:
                 if not live_alive[index] or k >= live_ends[index]:
@@ -726,6 +762,8 @@ class VectorBackend(SimBackend):
                     live_stepping.append(index)
                     demand[index] = live[index].demand_at(k)
                     active_global[index] = True
+                    if tiered:
+                        full_path[index] = live_miss[index][k - live[index].start]
             if not runnable_any:
                 break
             obs.counter_add("vector.net_slots")
@@ -737,6 +775,7 @@ class VectorBackend(SimBackend):
                 active_global,
                 weights,
                 usage_out=link_usage,
+                full_path=full_path,
             )
             if stepping:
                 with obs.span("vector.step"):

@@ -29,7 +29,7 @@ from repro.abr.bola import BOLA
 from repro.abr.hyb import HYB
 from repro.abr.robust_mpc import RobustMPC
 from repro.abr.throughput import ThroughputRule
-from repro.net import EdgeLink, NetworkTopology
+from repro.net import CacheModel, EdgeLink, NetworkTopology
 from repro.sim import SessionSpec, get_backend, spawn_session_seeds
 from repro.sim.bandwidth import (
     LowBandwidthTraceGenerator,
@@ -69,7 +69,31 @@ def _toy_topology() -> NetworkTopology:
     )
 
 
-def _batch(abr_name: str, seed: int, networked: bool) -> list[SessionSpec]:
+def _tiered_topology(allocator: str) -> NetworkTopology:
+    """3-tier golden topology: two edges → shared peering → shared origin."""
+    return NetworkTopology(
+        name="golden_3tier",
+        cache=CacheModel(hit_ratio=0.6),
+        allocator=allocator,
+        links=(
+            EdgeLink("east", 9_000.0, user_share=0.6, uplinks=("peer", "origin")),
+            EdgeLink("west", 14_000.0, user_share=0.4, uplinks=("peer", "origin")),
+            EdgeLink("peer", 12_000.0, tier="peering"),
+            EdgeLink("origin", 8_000.0, tier="origin"),
+        ),
+    )
+
+
+def _case_topology(networked: bool | str) -> NetworkTopology | None:
+    """``networked`` is False, True (flat toy), or an allocator name (tiered)."""
+    if not networked:
+        return None
+    if networked is True:
+        return _toy_topology()
+    return _tiered_topology(networked)
+
+
+def _batch(abr_name: str, seed: int, networked: bool | str) -> list[SessionSpec]:
     """Fixed-seed heterogeneous batch for one golden case."""
     import numpy as np
 
@@ -81,7 +105,7 @@ def _batch(abr_name: str, seed: int, networked: bool) -> list[SessionSpec]:
     generator = _TRACE_GENERATORS[abr_name]
     seeds = spawn_session_seeds(seed, len(population))
     abr = _ABR_FACTORIES[abr_name]()
-    topology = _toy_topology() if networked else None
+    topology = _case_topology(networked)
     return [
         SessionSpec(
             abr=abr,
@@ -97,8 +121,10 @@ def _batch(abr_name: str, seed: int, networked: bool) -> list[SessionSpec]:
     ]
 
 
-#: The committed corpus: case name → (ABR, seed, networked).
-GOLDEN_CASES: dict[str, tuple[str, int, bool]] = {
+#: The committed corpus: case name → (ABR, seed, networked).  ``networked``
+#: is False (no network), True (flat toy topology), or an allocator name
+#: (3-tier topology with CDN caching, allocated by that engine).
+GOLDEN_CASES: dict[str, tuple[str, int, bool | str]] = {
     "throughput": ("throughput", 101, False),
     "hyb": ("hyb", 102, False),
     "bba": ("bba", 103, False),
@@ -106,6 +132,8 @@ GOLDEN_CASES: dict[str, tuple[str, int, bool]] = {
     "robust_mpc": ("robust_mpc", 105, False),
     "hyb_networked": ("hyb", 106, True),
     "bola_networked": ("bola", 107, True),
+    "bba_tiered": ("bba", 108, "max_min_fair"),
+    "throughput_tiered_ll": ("throughput", 109, "low_lapsley"),
 }
 
 
@@ -118,7 +146,7 @@ def _run_case(case: str, backend_name: str) -> dict:
     traces = backend.run_batch(
         specs,
         SessionConfig(),
-        network=_toy_topology() if networked else None,
+        network=_case_topology(networked),
         link_usage=link_usage if networked else None,
     )
     return {

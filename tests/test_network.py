@@ -23,6 +23,7 @@ from repro.abr.throughput import ThroughputRule
 from repro.analytics.logs import LinkUtilizationLog
 from repro.net import (
     MIN_LINK_CAPACITY_KBPS,
+    CacheModel,
     CrossTraffic,
     EdgeLink,
     LinkEvent,
@@ -30,7 +31,9 @@ from repro.net import (
     allocate_step,
     available_topologies,
     get_topology,
+    low_lapsley,
     max_min_fair,
+    path_water_fill,
     stable_fraction,
     stable_user_key,
 )
@@ -157,6 +160,21 @@ class TestMaxMinFair:
         with pytest.raises(ValueError):
             max_min_fair(np.asarray([1.0]), 10.0, np.asarray([0.0]))
 
+    def test_non_finite_inputs_are_rejected(self):
+        """NaN slips past sign checks (``nan < 0`` is False) — must raise."""
+        with pytest.raises(ValueError, match="demands"):
+            max_min_fair(np.asarray([100.0, np.nan]), 50.0)
+        with pytest.raises(ValueError, match="demands"):
+            max_min_fair(np.asarray([np.inf, 10.0]), 50.0)
+        with pytest.raises(ValueError, match="capacity"):
+            max_min_fair(np.asarray([10.0]), float("nan"))
+        with pytest.raises(ValueError, match="capacity"):
+            max_min_fair(np.asarray([10.0]), float("inf"))
+        with pytest.raises(ValueError, match="weights"):
+            max_min_fair(np.asarray([10.0, 20.0]), 5.0, np.asarray([1.0, np.nan]))
+        with pytest.raises(ValueError, match="weights"):
+            max_min_fair(np.asarray([10.0, 20.0]), 5.0, np.asarray([np.inf, 1.0]))
+
     @staticmethod
     def _assert_allocation_properties(demands, capacity, weights=None):
         """The three invariants of a weighted max-min water-fill.
@@ -202,6 +220,22 @@ class TestMaxMinFair:
             if capacity <= 0 or capacity >= float(demands.sum()):
                 continue
             self._assert_allocation_properties(demands, capacity, weights)
+
+    def test_capacity_equal_to_a_knee_is_exact(self):
+        """Deterministic knee==capacity case: the fill at a knee is exactly
+        representable, so the allocation must hit it without drift.
+
+        With demands [100, 200, 400] the fill level of session 0 saturates
+        at capacity 100 + 100·2 = 300 (water level 100): session 0 served
+        in full, the rest clipped to exactly 100 each.
+        """
+        demands = np.asarray([100.0, 200.0, 400.0])
+        allocation = max_min_fair(demands, 300.0)
+        np.testing.assert_array_equal(allocation, [100.0, 100.0, 100.0])
+        assert float(allocation.sum()) == 300.0
+        # one ulp above the knee starts serving session 1 beyond the level
+        above = max_min_fair(demands, np.nextafter(300.0, 400.0))
+        assert above[1] > 100.0 or above[2] > 100.0
 
     def test_near_equal_demand_weight_ratios(self):
         """Float knee ties (duplicate and 1-ulp-apart ratios) stay exact."""
@@ -663,3 +697,323 @@ class TestLinkUtilizationLog:
             log.mean_utilization("nope")
         with pytest.raises(ValueError):
             LinkUtilizationLog([])
+
+
+def _tiered_topology(
+    hit_ratio: float | None = 0.5, allocator: str = "max_min_fair"
+) -> NetworkTopology:
+    """Toy 3-tier CDN: two edges share one peering link and one origin."""
+    return NetworkTopology(
+        name="toy_3tier",
+        cache=None if hit_ratio is None else CacheModel(hit_ratio=hit_ratio),
+        allocator=allocator,
+        links=(
+            EdgeLink("edge_a", 9_000.0, user_share=0.5, uplinks=("peer", "origin")),
+            EdgeLink("edge_b", 7_000.0, user_share=0.5, uplinks=("peer", "origin")),
+            EdgeLink("peer", 10_000.0, tier="peering"),
+            EdgeLink("origin", 6_000.0, tier="origin"),
+        ),
+    )
+
+
+class TestCrossTrafficScaleValidation:
+    def test_scaled_rejects_non_finite_and_negative_factors(self):
+        traffic = CrossTraffic(base_kbps=100.0, peak_kbps=300.0)
+        assert traffic.scaled(2.0).base_kbps == 200.0
+        for factor in (float("nan"), float("inf"), -0.5):
+            with pytest.raises(ValueError, match="finite and non-negative"):
+                traffic.scaled(factor)
+
+    def test_topology_scale_validates_before_touching_links(self):
+        # even a topology with *no* cross traffic must reject a bad factor
+        # up front, not links-deep into a run
+        bare = _toy_topology()
+        for factor in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ValueError, match="finite and non-negative"):
+                bare.with_cross_traffic_scale(factor)
+        shaped = bare.with_cross_traffic(CrossTraffic(base_kbps=50.0))
+        with pytest.raises(ValueError, match="finite and non-negative"):
+            shaped.with_cross_traffic_scale(float("nan"))
+        assert shaped.with_cross_traffic_scale(0.0).links[0].cross_traffic.base_kbps == 0.0
+
+
+class TestCacheModel:
+    def test_validation(self):
+        CacheModel(0.0)
+        CacheModel(1.0)
+        for ratio in (-0.1, 1.5, float("nan")):
+            with pytest.raises(ValueError):
+                CacheModel(ratio)
+
+    def test_miss_draws_are_deterministic_and_identity_keyed(self):
+        cache = CacheModel(hit_ratio=0.6)
+        profile = cache.miss_profile("u42", 64)
+        np.testing.assert_array_equal(profile, cache.miss_profile("u42", 64))
+        assert [cache.is_miss("u42", k) for k in range(64)] == profile.tolist()
+        # a longer profile is a prefix-extension (draws keyed by (user, k))
+        np.testing.assert_array_equal(cache.miss_profile("u42", 96)[:64], profile)
+        # different users draw different profiles (overwhelmingly)
+        other = cache.miss_profile("u43", 64)
+        assert profile.tolist() != other.tolist()
+
+    def test_extreme_ratios(self):
+        assert not CacheModel(1.0).miss_profile("u", 32).any()
+        assert CacheModel(0.0).miss_profile("u", 32).all()
+
+    def test_miss_rate_tracks_hit_ratio(self):
+        cache = CacheModel(hit_ratio=0.7)
+        draws = np.concatenate(
+            [cache.miss_profile(f"user{i}", 50) for i in range(40)]
+        )
+        assert draws.mean() == pytest.approx(0.3, abs=0.05)
+
+
+class TestMultiTierTopology:
+    def test_uplink_validation(self):
+        with pytest.raises(ValueError, match="unknown uplinks"):
+            NetworkTopology(links=(EdgeLink("e", 1000.0, uplinks=("ghost",)),))
+        with pytest.raises(ValueError, match="only edge-tier"):
+            EdgeLink("p", 1000.0, tier="peering", uplinks=("x",))
+        with pytest.raises(ValueError, match="own uplink"):
+            EdgeLink("e", 1000.0, uplinks=("e",))
+        with pytest.raises(ValueError, match="duplicate uplinks"):
+            EdgeLink("e", 1000.0, uplinks=("p", "p"))
+        with pytest.raises(ValueError, match="at least one edge-tier"):
+            NetworkTopology(links=(EdgeLink("p", 1000.0, tier="peering"),))
+
+    def test_flat_topologies_are_unchanged(self):
+        topology = _toy_topology()
+        assert not topology.has_tiers
+        assert topology.edge_indices == (0, 1)
+        np.testing.assert_array_equal(topology.path_matrix, np.eye(2, dtype=bool))
+        # component sharding degenerates to the historical round-robin
+        for shards in (1, 2, 3):
+            assert topology.shard_links(shards) == [
+                list(topology.link_ids[i::shards]) for i in range(shards)
+            ]
+
+    def test_paths_and_edge_only_attachment(self):
+        topology = _tiered_topology()
+        assert topology.has_tiers
+        assert topology.path_for("edge_a") == ("edge_a", "peer", "origin")
+        assert topology.path_for("peer") == ("peer",)
+        # users only ever land on edge links, share-weighted among them
+        for i in range(200):
+            index = topology.link_index_for(f"user{i}")
+            assert topology.links[index].tier == "edge"
+
+    def test_components_coshard_whole_paths(self):
+        topology = _tiered_topology()
+        for shards in (1, 2, 4):
+            assignment = topology.shard_links(shards)
+            owner = [ids for ids in assignment if ids]
+            assert len(owner) == 1  # one connected component
+            assert sorted(owner[0]) == sorted(topology.link_ids)
+        # two independent trees split across shards
+        forest = NetworkTopology(
+            links=(
+                EdgeLink("e1", 1000.0, uplinks=("o1",)),
+                EdgeLink("e2", 1000.0, uplinks=("o2",)),
+                EdgeLink("o1", 1000.0, tier="origin"),
+                EdgeLink("o2", 1000.0, tier="origin"),
+            )
+        )
+        split = forest.shard_links(2)
+        assert sorted(split[0]) == ["e1", "o1"]
+        assert sorted(split[1]) == ["e2", "o2"]
+        # restrict() refuses to sever an edge link from its uplinks
+        with pytest.raises(ValueError, match="unknown uplinks"):
+            forest.restrict(["e1"])
+
+    def test_cdn_3tier_is_registered(self):
+        assert "cdn_3tier" in available_topologies()
+        topology = get_topology("cdn_3tier")
+        assert topology.has_tiers
+        assert topology.cache is not None
+        tiers = {link.tier for link in topology.links}
+        assert tiers == {"edge", "peering", "origin"}
+        # pickles cleanly for shard workers, including cached properties
+        clone = pickle.loads(pickle.dumps(topology))
+        assert clone.path_for("edge_a") == topology.path_for("edge_a")
+
+    def test_allocator_field_is_validated(self):
+        with pytest.raises(ValueError, match="unknown allocator"):
+            NetworkTopology(
+                links=(EdgeLink("e", 1000.0),), allocator="round_robin"
+            )
+
+
+class TestPathAwareAllocators:
+    def _routes(self, topology, link_index, active, full_path=None):
+        from repro.net.allocator import _session_routes
+
+        return _session_routes(
+            topology, np.asarray(link_index), np.asarray(active), full_path
+        )
+
+    def test_single_link_paths_match_classic_water_fill(self):
+        rng = np.random.default_rng(5)
+        demands = rng.uniform(100.0, 4000.0, size=16)
+        weights = rng.uniform(0.5, 2.0, size=16)
+        capacities = np.asarray([8000.0])
+        routes = np.ones((16, 1), dtype=bool)
+        np.testing.assert_array_equal(
+            path_water_fill(demands, capacities, routes, weights),
+            max_min_fair(demands, 8000.0, weights),
+        )
+
+    def test_rate_bounded_by_every_path_link(self):
+        # one session through a narrow origin: its rate is the min of the
+        # links' shares even though the edge has plenty of room
+        demands = np.asarray([5000.0, 5000.0])
+        weights = np.ones(2)
+        capacities = np.asarray([9000.0, 3000.0])  # edge, origin
+        routes = np.asarray([[True, True], [True, False]])
+        allocation = path_water_fill(demands, capacities, routes, weights)
+        assert allocation[0] <= 3000.0 + 1e-9  # origin-bound
+        # the freed edge capacity goes to the edge-only session
+        assert allocation[1] > allocation[0]
+        assert allocation.sum() <= 9000.0 + 1e-9
+
+    def test_feasibility_on_random_tiered_instances(self):
+        rng = np.random.default_rng(9)
+        for _ in range(50):
+            sessions = int(rng.integers(1, 40))
+            links = int(rng.integers(1, 6))
+            demands = rng.uniform(0.0, 5000.0, size=sessions)
+            weights = rng.uniform(0.2, 3.0, size=sessions)
+            capacities = rng.uniform(500.0, 20_000.0, size=links)
+            routes = rng.random((sessions, links)) < 0.5
+            for allocation in (
+                path_water_fill(demands, capacities, routes, weights),
+                low_lapsley(demands, capacities, routes, weights),
+            ):
+                assert np.all(allocation <= demands + 1e-9)
+                assert np.all(allocation >= -1e-12)
+                arrivals = routes.T.astype(float) @ allocation
+                assert np.all(arrivals <= capacities * (1 + 1e-9))
+                # routeless sessions receive nothing
+                assert np.all(allocation[~routes.any(axis=1)] == 0.0)
+
+    def test_low_lapsley_is_deterministic_and_fills_congested_links(self):
+        demands = np.full(8, 4000.0)
+        weights = np.ones(8)
+        capacities = np.asarray([20_000.0, 6_000.0])
+        routes = np.zeros((8, 2), dtype=bool)
+        routes[:, 0] = True
+        routes[::2, 1] = True
+        first = low_lapsley(demands, capacities, routes, weights)
+        second = low_lapsley(demands, capacities, routes, weights)
+        np.testing.assert_array_equal(first, second)
+        arrivals = routes.T.astype(float) @ first
+        # the narrow link is the bottleneck and ends essentially full
+        assert arrivals[1] == pytest.approx(6_000.0, rel=0.01)
+
+    def test_allocate_step_cache_hits_stay_on_the_edge(self):
+        topology = _tiered_topology(hit_ratio=None)
+        link_index = np.asarray([0, 0, 1])
+        demands = np.asarray([2000.0, 2000.0, 2000.0])
+        active = np.ones(3, dtype=bool)
+        usage = []
+        # all hits: upstream tiers see zero sessions
+        allocate_step(
+            topology, 0, link_index, demands, active,
+            usage_out=usage, full_path=np.zeros(3, dtype=bool),
+        )
+        by_link = {s.link_id: s for s in usage}
+        assert by_link["peer"].active_sessions == 0
+        assert by_link["origin"].active_sessions == 0
+        assert by_link["edge_a"].active_sessions == 2
+        assert by_link["peer"].tier == "peering"
+        # all misses: every active session traverses its full path
+        usage = []
+        allocate_step(
+            topology, 0, link_index, demands, active,
+            usage_out=usage, full_path=np.ones(3, dtype=bool),
+        )
+        by_link = {s.link_id: s for s in usage}
+        assert by_link["peer"].active_sessions == 3
+        assert by_link["origin"].active_sessions == 3
+        # the shared origin (6 Mbps) caps total allocated throughput
+        assert sum(s.allocated_kbps for s in usage if s.tier == "edge") <= 6000.0 + 1e-9
+
+    def test_allocate_step_rejects_non_finite_batch_inputs(self):
+        topology = _tiered_topology(hit_ratio=None)
+        link_index = np.asarray([0])
+        active = np.ones(1, dtype=bool)
+        with pytest.raises(ValueError, match="demands"):
+            allocate_step(topology, 0, link_index, np.asarray([np.nan]), active)
+        with pytest.raises(ValueError, match="weights"):
+            allocate_step(
+                topology, 0, link_index, np.asarray([100.0]), active,
+                weights=np.asarray([np.nan]),
+            )
+
+
+class TestMultiTierEquivalenceGate:
+    """Scalar == vector on tiered topologies, across the cache hit/miss mix."""
+
+    @pytest.mark.parametrize("abr_name", ["throughput", "hyb", "bba", "bola"])
+    @pytest.mark.parametrize("hit_ratio", [None, 0.0, 0.5, 1.0])
+    def test_traces_and_usage_identical(self, abr_name, hit_ratio):
+        specs = _spec_batch(abr_name, seed=31, num_sessions=12)
+        topology = _tiered_topology(hit_ratio=hit_ratio)
+        scalar_usage, vector_usage = [], []
+        scalar = get_backend("scalar").run_batch(
+            specs, SessionConfig(), network=topology, link_usage=scalar_usage
+        )
+        vector = get_backend("vector").run_batch(
+            specs, SessionConfig(), network=topology, link_usage=vector_usage
+        )
+        assert_traces_equal(scalar, vector)
+        assert scalar_usage == vector_usage
+        tiers = {s.tier for s in scalar_usage}
+        assert tiers == {"edge", "peering", "origin"}
+
+    @pytest.mark.parametrize("allocator", ["max_min_fair", "low_lapsley"])
+    def test_both_allocators_pass_the_gate(self, allocator):
+        specs = _spec_batch("bola", seed=37, num_sessions=14, bursty=True)
+        topology = _tiered_topology(hit_ratio=0.4, allocator=allocator)
+        scalar_usage, vector_usage = [], []
+        scalar = get_backend("scalar").run_batch(
+            specs, SessionConfig(), network=topology, link_usage=scalar_usage
+        )
+        vector = get_backend("vector").run_batch(
+            specs, SessionConfig(), network=topology, link_usage=vector_usage
+        )
+        assert_traces_equal(scalar, vector)
+        assert scalar_usage == vector_usage
+
+    def test_low_lapsley_selectable_on_flat_topologies(self):
+        specs = _spec_batch("hyb", seed=41, num_sessions=10)
+        topology = NetworkTopology(
+            name="flat_ll",
+            allocator="low_lapsley",
+            links=_toy_topology().links,
+        )
+        scalar_usage, vector_usage = [], []
+        scalar = get_backend("scalar").run_batch(
+            specs, SessionConfig(), network=topology, link_usage=scalar_usage
+        )
+        vector = get_backend("vector").run_batch(
+            specs, SessionConfig(), network=topology, link_usage=vector_usage
+        )
+        assert_traces_equal(scalar, vector)
+        assert scalar_usage == vector_usage
+
+    def test_cold_cache_shifts_load_upstream(self):
+        """The cache model is load-bearing: colder caches raise origin load."""
+        specs = _spec_batch("throughput", seed=43, num_sessions=16, staggered=False)
+        origin_demand = {}
+        for ratio in (0.9, 0.1):
+            usage = []
+            get_backend("vector").run_batch(
+                specs,
+                SessionConfig(),
+                network=_tiered_topology(hit_ratio=ratio),
+                link_usage=usage,
+            )
+            origin_demand[ratio] = sum(
+                s.demand_kbps for s in usage if s.link_id == "origin"
+            )
+        assert origin_demand[0.1] > origin_demand[0.9]

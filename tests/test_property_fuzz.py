@@ -6,8 +6,9 @@ over randomly sampled workloads.  A seeded generator draws ~50 independent
 :class:`SessionSpec` batches — random ABR mixes (all lockstep-native
 families), random trace shapes and lengths, random exit-model families,
 random videos/ladders, and (for half the cases) random shared-bottleneck
-topologies with random start slots and fair-share weights — and asserts for
-every case that
+topologies — sometimes multi-tier (edge → peering → origin) with a random
+cache temperature and allocator — with random start slots and fair-share
+weights — and asserts for every case that
 
 * the vector backend reproduces the scalar backend **segment for segment**
   (exact :class:`SegmentRecord` field equality),
@@ -28,7 +29,7 @@ from repro.abr.bola import BOLA
 from repro.abr.hyb import HYB
 from repro.abr.robust_mpc import RobustMPC
 from repro.abr.throughput import ThroughputRule
-from repro.net import EdgeLink, NetworkTopology
+from repro.net import ALLOCATORS, CacheModel, EdgeLink, NetworkTopology
 from repro.sim import SessionSpec, get_backend, spawn_session_seeds
 from repro.sim.bandwidth import (
     LowBandwidthTraceGenerator,
@@ -83,6 +84,46 @@ def _sample_topology(rng: np.random.Generator) -> NetworkTopology | None:
     if rng.random() < 0.5:
         return None
     num_links = int(rng.integers(1, 4))
+    if rng.random() < 0.4:
+        # Multi-tier draw: every edge routes through a shared peering link
+        # and (sometimes) an origin, with a random cache temperature and a
+        # random allocator — the full path-aware surface under the same
+        # scalar==vector property.
+        has_origin = bool(rng.random() < 0.5)
+        uplinks = ("peer", "origin") if has_origin else ("peer",)
+        links = [
+            EdgeLink(
+                f"l{i}",
+                capacity_kbps=float(rng.uniform(4_000.0, 30_000.0)),
+                user_share=float(rng.uniform(0.5, 2.0)),
+                uplinks=uplinks,
+            )
+            for i in range(num_links)
+        ]
+        links.append(
+            EdgeLink(
+                "peer",
+                capacity_kbps=float(rng.uniform(6_000.0, 40_000.0)),
+                tier="peering",
+            )
+        )
+        if has_origin:
+            links.append(
+                EdgeLink(
+                    "origin",
+                    capacity_kbps=float(rng.uniform(5_000.0, 35_000.0)),
+                    tier="origin",
+                )
+            )
+        cache = (
+            None
+            if rng.random() < 0.25
+            else CacheModel(hit_ratio=float(rng.uniform(0.0, 1.0)))
+        )
+        allocator = ALLOCATORS[int(rng.integers(len(ALLOCATORS)))]
+        return NetworkTopology(
+            name="fuzz_tiered", links=tuple(links), cache=cache, allocator=allocator
+        )
     links = tuple(
         EdgeLink(
             f"l{i}",

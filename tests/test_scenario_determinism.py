@@ -248,3 +248,104 @@ class TestNetworkedFleet:
         ]
         scenario = get_scenario("evening_peak")
         assert scenario.name == "evening_peak"
+
+
+class TestMultiTierFleet:
+    """Tiered topologies through the fleet layer: scenarios + allocators."""
+
+    @pytest.mark.parametrize("allocator", ["max_min_fair", "low_lapsley"])
+    def test_cache_storm_invariant_across_shards_workers_backends(
+        self, population, library, allocator
+    ):
+        def run(shards, workers, backend):
+            return FleetOrchestrator(
+                FleetConfig(
+                    num_shards=shards,
+                    num_workers=workers,
+                    sessions_per_user=2,
+                    trace_length=40,
+                    seed=11,
+                    backend=backend,
+                    network="cdn_3tier",
+                    allocator=allocator,
+                )
+            ).run(population, library, scenario="cache_storm")
+
+        baseline = run(1, 0, "vector")
+        stream = lambda result: sorted(
+            result.link_usage, key=lambda s: (s.link_id, s.step)
+        )
+        for shards, workers in ((2, 0), (4, 2)):
+            other = run(shards, workers, "vector")
+            assert _session_map(other) == _session_map(baseline)
+            assert stream(other) == stream(baseline)
+        scalar = run(1, 0, "scalar")
+        assert _session_map(scalar) == _session_map(baseline)
+        assert stream(scalar) == stream(baseline)
+        # the tier column survives the fleet path (and the pool codec)
+        tiers = {sample.tier for sample in baseline.link_usage}
+        assert tiers == {"edge", "peering", "origin"}
+
+    def test_allocator_config_validation(self):
+        with pytest.raises(ValueError, match="unknown allocator"):
+            FleetConfig(network="cdn_3tier", allocator="round_robin")
+        with pytest.raises(ValueError, match="networked"):
+            FleetConfig(allocator="low_lapsley")
+        config = FleetConfig(network="cdn_3tier", allocator="low_lapsley")
+        assert config.allocator == "low_lapsley"
+
+    def test_cache_storm_replaces_cache_but_keeps_salt(self):
+        from repro.net import get_topology
+
+        topology = get_topology("cdn_3tier")
+        shaped = get_scenario("cache_storm").network_for(topology)
+        assert shaped.cache.hit_ratio == 0.1
+        assert shaped.cache.salt == topology.cache.salt
+        # inert on flat topologies: the cache exists but nothing routes
+        # upstream, so runs degrade to a pure arrival surge
+        flat = get_scenario("cache_storm").network_for(_topology())
+        assert not flat.has_tiers and flat.cache is not None
+
+    def test_tier_event_scenarios_target_their_tier(self):
+        from repro.fleet.scenarios import (
+            OriginOverloadScenario,
+            PeeringBrownoutScenario,
+        )
+        from repro.net import get_topology
+
+        topology = get_topology("cdn_3tier")
+        origin = OriginOverloadScenario()
+        assert origin.target_links(topology) == ["origin"]
+        shaped = origin.network_for(topology)
+        index = shaped.index_of("origin")
+        mid = (origin.event_start + origin.event_end) // 2
+        assert shaped.links[index].capacity_at(mid) == pytest.approx(
+            topology.links[index].capacity_kbps * origin.capacity_multiplier
+        )
+        assert shaped.links[index].capacity_at(origin.event_end + 1) == (
+            topology.links[index].capacity_kbps
+        )
+
+        brownout = PeeringBrownoutScenario()
+        assert sorted(brownout.target_links(topology)) == ["peer_a", "peer_b"]
+        # flat topologies fall back to the largest link
+        flat = _topology()
+        assert origin.target_links(flat) == ["c"]
+        assert brownout.target_links(flat) == ["c"]
+
+    def test_tier_scenarios_run_end_to_end(self, population, library):
+        for scenario in ("origin_overload", "peering_brownout"):
+            result = FleetOrchestrator(
+                FleetConfig(
+                    num_shards=2,
+                    num_workers=0,
+                    sessions_per_user=1,
+                    trace_length=30,
+                    seed=13,
+                    backend="vector",
+                    network="cdn_3tier",
+                )
+            ).run(population, library, scenario=scenario)
+            assert result.metrics.num_sessions > 0
+            tiers = {sample.tier for sample in result.link_usage}
+            assert "edge" in tiers

@@ -11,6 +11,7 @@ memory must stay flat as the file grows 10x.
 from __future__ import annotations
 
 import json
+import os
 import tracemalloc
 
 import numpy as np
@@ -187,6 +188,34 @@ class TestIndex:
         # corrupt sidecar: silently rebuilt too
         default_index_path(copy).write_text("not json")
         assert load_or_build_index(copy).count("extra") == 1
+
+    def test_same_length_rewrite_triggers_rebuild(self, tmp_path):
+        """A same-byte-count rewrite must not serve the stale sidecar.
+
+        Size-only freshness misses in-place rewrites (same byte count,
+        different content) — the index must also key on mtime_ns.
+        """
+        path = tmp_path / "telemetry.jsonl"
+        path.write_text(
+            "".join(
+                json.dumps({"event": "aaa", "payload": {"i": i}}) + "\n"
+                for i in range(5)
+            )
+        )
+        first = load_or_build_index(path)
+        assert first.count("aaa") == 5
+        # rewrite every event name in place: identical st_size, new content
+        rewritten = path.read_bytes().replace(b'"aaa"', b'"bbb"')
+        assert len(rewritten) == path.stat().st_size
+        path.write_bytes(rewritten)
+        # force a distinct mtime_ns: coarse filesystem timestamp granularity
+        # could otherwise make the rewrite look instantaneous
+        stat = path.stat()
+        os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1_000_000))
+        rebuilt = load_or_build_index(path)
+        assert rebuilt.file_mtime_ns != first.file_mtime_ns
+        assert rebuilt.count("aaa") == 0
+        assert rebuilt.count("bbb") == 5
 
 
 class TestBoundedMemory:
